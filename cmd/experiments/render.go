@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+
+	"riskroute/internal/experiments"
+)
+
+// Thin stdout shims over the experiments renderers keep main's switch terse.
+
+func experimentsRenderTable1(r *experiments.Table1Result) error {
+	return experiments.RenderTable1(os.Stdout, r)
+}
+
+func experimentsRenderTable2(r *experiments.Table2Result) error {
+	return experiments.RenderTable2(os.Stdout, r)
+}
+
+func experimentsRenderTable3(r *experiments.Table3Result) error {
+	return experiments.RenderTable3(os.Stdout, r)
+}
+
+func experimentsRenderFigure1(r *experiments.Figure1Result) error {
+	return experiments.RenderFigure1(os.Stdout, r)
+}
+
+func experimentsRenderFigure2(r *experiments.Figure2Result) error {
+	return experiments.RenderFigure2(os.Stdout, r)
+}
+
+func experimentsRenderFigure3(r *experiments.Figure3Result) error {
+	return experiments.RenderFigure3(os.Stdout, r)
+}
+
+func experimentsRenderFigure4(r *experiments.Figure4Result) error {
+	return experiments.RenderFigure4(os.Stdout, r)
+}
+
+func experimentsRenderFigure5(r *experiments.Figure5Result) error {
+	return experiments.RenderFigure5(os.Stdout, r)
+}
+
+func experimentsRenderFigure6(r *experiments.Figure6Result) error {
+	return experiments.RenderFigure6(os.Stdout, r)
+}
+
+func experimentsRenderFigure7(r *experiments.Figure7Result) error {
+	return experiments.RenderFigure7(os.Stdout, r)
+}
+
+func experimentsRenderFigure8(r *experiments.Figure8Result) error {
+	return experiments.RenderFigure8(os.Stdout, r)
+}
+
+func experimentsRenderFigure9(r *experiments.Figure9Result) error {
+	return experiments.RenderFigure9(os.Stdout, r)
+}
+
+func experimentsRenderFigure10(r *experiments.Figure10Result) error {
+	return experiments.RenderFigure10(os.Stdout, r)
+}
+
+func experimentsRenderFigure11(r *experiments.Figure11Result) error {
+	return experiments.RenderFigure11(os.Stdout, r)
+}
+
+func experimentsRenderReplay(title string, r *experiments.ReplayResult) error {
+	return experiments.RenderReplay(os.Stdout, title, r)
+}
+
+func experimentsRenderExtras(r *experiments.ExtrasResult) error {
+	return experiments.RenderExtras(os.Stdout, r)
+}

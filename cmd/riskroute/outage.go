@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"riskroute"
+)
+
+// cmdOutage simulates a storm knocking out every PoP inside its cumulative
+// hurricane-force (optionally tropical-force) wind field and reports the
+// connectivity damage — the operator-facing "what would this storm have
+// done to us" analysis.
+func cmdOutage(args []string) error {
+	fs := flag.NewFlagSet("outage", flag.ExitOnError)
+	w := addWorldFlags(fs)
+	network := fs.String("network", "Level3", "network name")
+	storm := fs.String("storm", "Sandy", "storm name (Irene, Katrina, Sandy)")
+	tropical := fs.Bool("tropical", false, "also fail PoPs under tropical-storm-force winds")
+	fs.Parse(args)
+
+	track := riskroute.HurricaneByName(*storm)
+	if track == nil {
+		return fmt.Errorf("unknown storm %q", *storm)
+	}
+	replay, err := riskroute.LoadHurricaneReplay(track)
+	if err != nil {
+		return err
+	}
+	scope := riskroute.ScopeOf(replay)
+
+	e, net, err := engineFor(w, *network, riskroute.PaperParams(), nil)
+	if err != nil {
+		return err
+	}
+	var failed []int
+	for i, p := range net.PoPs {
+		switch scope.Classify(p.Location) {
+		case riskroute.HurricaneForceScope:
+			failed = append(failed, i)
+		case riskroute.TropicalForceScope:
+			if *tropical {
+				failed = append(failed, i)
+			}
+		}
+	}
+	impact, err := e.SimulateOutage(failed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s (%s winds fail PoPs):\n", net.Name, *storm, severityLabel(*tropical))
+	fmt.Printf("  failed PoPs:        %d of %d\n", impact.FailedPoPs, len(net.PoPs))
+	for _, i := range failed {
+		fmt.Printf("    - %s\n", net.PoPs[i].Name)
+	}
+	fmt.Printf("  surviving pairs:    %d\n", impact.TotalPairs)
+	fmt.Printf("  disconnected pairs: %d\n", impact.DisconnectedPairs)
+	fmt.Printf("  rerouted pairs:     %d (mean detour %.0f mi)\n",
+		impact.ReroutedPairs, impact.MeanDetourMiles)
+	fmt.Printf("  stranded population: %.1f%%\n", 100*impact.StrandedPopulation)
+	return nil
+}
+
+func severityLabel(tropical bool) string {
+	if tropical {
+		return "tropical-force and stronger"
+	}
+	return "hurricane-force"
+}
+
+// cmdExport dumps the embedded network corpus (or one network) in the
+// native text format or Topology-Zoo GraphML, so users can edit real inputs
+// for the -topology flag or feed other tools.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	network := fs.String("network", "", "network to export (empty = whole corpus, native format only)")
+	format := fs.String("format", "native", "output format: native|graphml")
+	out := fs.String("o", "", "output file (empty = stdout)")
+	fs.Parse(args)
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *format {
+	case "native":
+		nets := riskroute.BuiltinNetworks()
+		if *network != "" {
+			n := riskroute.BuiltinNetwork(*network)
+			if n == nil {
+				return fmt.Errorf("unknown network %q", *network)
+			}
+			nets = []*riskroute.Network{n}
+		}
+		return riskroute.WriteTopology(w, nets)
+	case "graphml":
+		if *network == "" {
+			return fmt.Errorf("graphml export needs -network (one graph per document)")
+		}
+		n := riskroute.BuiltinNetwork(*network)
+		if n == nil {
+			return fmt.Errorf("unknown network %q", *network)
+		}
+		return riskroute.WriteGraphML(w, n)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,54 @@
+package riskroute_test
+
+// Smoke tests for the runnable examples: each builds and runs end to end
+// against the full synthetic world, so the documented entry points can't
+// rot. The two fastest examples run by default; the heavier scenario
+// examples are covered by `go vet`/`go build` and the equivalent CLI
+// integration tests in cmd/riskroute.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, dir string, wantSubstrings ...string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("examples build a full synthetic world")
+	}
+	cmd := exec.Command("go", "run", "./examples/"+dir)
+	cmd.Dir = "."
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(4 * time.Minute):
+		cmd.Process.Kill()
+		t.Fatalf("example %s timed out", dir)
+	}
+	if err != nil {
+		t.Fatalf("example %s: %v\n%s", dir, err, out)
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("example %s output missing %q:\n%s", dir, want, out)
+		}
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	runExample(t, "quickstart",
+		"Level3, Houston TX -> Boston MA", "shortest", "riskroute", "risk reduction")
+}
+
+func TestExampleCustomData(t *testing.T) {
+	runExample(t, "customdata",
+		"loaded GulfNet", "traffic-weighted ratios", "Katrina simulation")
+}

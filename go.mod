@@ -1,0 +1,3 @@
+module riskroute
+
+go 1.22

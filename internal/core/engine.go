@@ -1,0 +1,492 @@
+// Package core implements the RiskRoute optimization framework (Section 6
+// of the paper): minimum bit-risk-mile routing between arbitrary PoPs
+// (Equation 3), the aggregated risk-reduction and distance-increase ratios
+// against shortest-path routing (Equations 5 and 6), and the robustness
+// analysis that finds the additional links best reducing a network's total
+// bit-risk miles (Equation 4, single and greedy-k).
+//
+// # Impact-coupled weights and α quantization
+//
+// The metric's impact factor α_ij = c_i + c_j depends on the endpoint pair,
+// so edge weights are pair-dependent: a fresh shortest-path problem per
+// pair. The engine exploits that α enters as a single scalar multiplier:
+// α values are quantized into a small number of buckets, one risk-weighted
+// graph (and, for robustness scoring, one all-pairs table) is built per
+// bucket, and each pair routes on its bucket's graph while its cost is
+// evaluated at the pair's exact α. Exact per-pair search is available for
+// verification (EvaluateExact) and agrees with the quantized path within the
+// bucket width; the property is pinned by tests.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"riskroute/internal/graph"
+	"riskroute/internal/risk"
+	"riskroute/internal/topology"
+)
+
+// Options tune the engine.
+type Options struct {
+	// AlphaBuckets is the number of quantization levels for the impact
+	// factor α (default 16). More buckets cost more Dijkstra sweeps and
+	// memory but track per-pair optima more closely.
+	AlphaBuckets int
+	// CandidateReduction is the bit-mile reduction a direct link must
+	// achieve for its PoP pair to enter the robustness candidate set E_C.
+	// The paper's rule is "more than 50% reduction" (0.5, the default),
+	// which excludes impractical cross-country links.
+	CandidateReduction float64
+	// Workers bounds the goroutines used by the all-pairs evaluations
+	// (Evaluate, TotalBitRisk and friends). Zero means GOMAXPROCS; 1 forces
+	// sequential execution. Results are identical at any worker count: each
+	// source's partial sums are reduced in source order.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.AlphaBuckets == 0 {
+		o.AlphaBuckets = 16
+	}
+	if o.CandidateReduction == 0 {
+		o.CandidateReduction = 0.5
+	}
+	return o
+}
+
+// Engine answers RiskRoute queries for one risk context.
+type Engine struct {
+	Ctx  *risk.Context
+	opts Options
+
+	dist *graph.Graph // pure bit-mile graph
+
+	alphaLo, alphaHi float64
+	logBuckets       bool           // log-spaced quantization for skewed α
+	buckets          []float64      // representative α per bucket
+	bucketGraphs     []*graph.Graph // lazily built risk-weighted graphs
+}
+
+// New builds an engine after validating the context.
+func New(ctx *risk.Context, opts Options) (*Engine, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ctx.Net.PoPs) < 2 {
+		return nil, fmt.Errorf("core: network %q has fewer than two PoPs", ctx.Net.Name)
+	}
+	opts = opts.withDefaults()
+
+	var alphaLo, alphaHi float64
+	if ctx.Impact != nil {
+		// Arbitrary impact override: scan all pairs for the true range.
+		alphaLo, alphaHi = math.Inf(1), math.Inf(-1)
+		n := len(ctx.Net.PoPs)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a := ctx.Alpha(i, j)
+				if a < 0 {
+					return nil, fmt.Errorf("core: negative impact for pair (%d,%d)", i, j)
+				}
+				if a < alphaLo {
+					alphaLo = a
+				}
+				if a > alphaHi {
+					alphaHi = a
+				}
+			}
+		}
+	} else {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, f := range ctx.Fractions {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		alphaLo, alphaHi = 2*lo, 2*hi
+	}
+	e := &Engine{
+		Ctx:     ctx,
+		opts:    opts,
+		dist:    ctx.DistanceGraph(),
+		alphaLo: alphaLo,
+		alphaHi: alphaHi,
+	}
+	k := opts.AlphaBuckets
+	if e.alphaHi <= e.alphaLo {
+		k = 1 // all pairs share one α
+	}
+	// Skewed impact distributions (e.g. gravity-model traffic matrices)
+	// spread α over orders of magnitude; log-spaced buckets keep the
+	// relative quantization error bounded there, while linear spacing
+	// serves the paper's additive α = c_i + c_j well.
+	if k > 1 && e.alphaLo > 0 && e.alphaHi/e.alphaLo > 32 {
+		e.logBuckets = true
+	}
+	e.buckets = make([]float64, k)
+	for b := 0; b < k; b++ {
+		f := (float64(b) + 0.5) / float64(k)
+		if e.logBuckets {
+			e.buckets[b] = e.alphaLo * math.Exp(f*math.Log(e.alphaHi/e.alphaLo))
+		} else {
+			e.buckets[b] = e.alphaLo + (e.alphaHi-e.alphaLo)*f
+		}
+	}
+	e.bucketGraphs = make([]*graph.Graph, k)
+	return e, nil
+}
+
+// N returns the PoP count.
+func (e *Engine) N() int { return len(e.Ctx.Net.PoPs) }
+
+// bucketOf maps an impact value to its quantization bucket.
+func (e *Engine) bucketOf(alpha float64) int {
+	k := len(e.buckets)
+	if k == 1 || e.alphaHi <= e.alphaLo {
+		return 0
+	}
+	var b int
+	if e.logBuckets {
+		if alpha <= e.alphaLo {
+			return 0
+		}
+		b = int(float64(k) * math.Log(alpha/e.alphaLo) / math.Log(e.alphaHi/e.alphaLo))
+	} else {
+		b = int(float64(k) * (alpha - e.alphaLo) / (e.alphaHi - e.alphaLo))
+	}
+	if b < 0 {
+		b = 0
+	}
+	if b >= k {
+		b = k - 1
+	}
+	return b
+}
+
+// bucketGraph lazily builds the risk-weighted graph for bucket b.
+func (e *Engine) bucketGraph(b int) *graph.Graph {
+	if e.bucketGraphs[b] == nil {
+		e.bucketGraphs[b] = e.Ctx.WeightedGraph(e.buckets[b])
+	}
+	return e.bucketGraphs[b]
+}
+
+// PairResult describes one routed pair.
+type PairResult struct {
+	Path         []int
+	BitRiskMiles float64 // Equation 1 cost at the pair's exact α
+	Miles        float64 // geographic path length
+}
+
+// RiskRoutePair solves Equation 3 for one pair with the pair's exact α
+// (no quantization): the minimum bit-risk-mile path from i to j.
+func (e *Engine) RiskRoutePair(i, j int) PairResult {
+	g := e.Ctx.WeightedGraph(e.Ctx.Alpha(i, j))
+	path, _ := g.ShortestPath(i, j)
+	return e.describe(path, i, j)
+}
+
+// ShortestPair routes i to j by pure geographic shortest path and prices it
+// in bit-risk miles — the baseline of Equations 5 and 6.
+func (e *Engine) ShortestPair(i, j int) PairResult {
+	path, _ := e.dist.ShortestPath(i, j)
+	return e.describe(path, i, j)
+}
+
+func (e *Engine) describe(path []int, i, j int) PairResult {
+	if path == nil {
+		return PairResult{BitRiskMiles: math.Inf(1), Miles: math.Inf(1)}
+	}
+	return PairResult{
+		Path:         path,
+		BitRiskMiles: e.Ctx.PathCost(path, i, j),
+		Miles:        e.Ctx.PathMiles(path),
+	}
+}
+
+// treeMetrics accumulates, along a shortest-path tree, each node's
+// geographic path length and entered-node risk sum (Σ ρ(p_x), x ≥ 2), so a
+// pair's Equation 1 cost is miles[v] + α·entered[v].
+func (e *Engine) treeMetrics(t *graph.ShortestTree) (miles, entered []float64) {
+	n := e.N()
+	miles = make([]float64, n)
+	entered = make([]float64, n)
+	done := make([]bool, n)
+	done[t.Source] = true
+
+	var fill func(v int)
+	fill = func(v int) {
+		if done[v] {
+			return
+		}
+		p := int(t.Prev[v])
+		if p == -1 {
+			// Unreachable; mark with infinities.
+			miles[v] = math.Inf(1)
+			entered[v] = math.Inf(1)
+			done[v] = true
+			return
+		}
+		fill(p)
+		miles[v] = miles[p] + e.Ctx.Net.LinkMiles(topology.Link{A: p, B: v})
+		entered[v] = entered[p] + e.Ctx.NodeRisk(v) + e.Ctx.LinkRisk(p, v)
+		done[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if !math.IsInf(t.Dist[v], 1) {
+			fill(v)
+		} else {
+			miles[v] = math.Inf(1)
+			entered[v] = math.Inf(1)
+			done[v] = true
+		}
+	}
+	return miles, entered
+}
+
+// Ratios aggregates Equations 5 and 6.
+type Ratios struct {
+	// RiskReduction is rr: the mean fractional decrease in bit-risk miles of
+	// RiskRoute paths versus shortest paths (0.2 ⇒ 20% lower risk).
+	RiskReduction float64
+	// DistanceIncrease is dr: the mean fractional increase in bit-miles of
+	// RiskRoute paths versus shortest paths (0.2 ⇒ 20% longer routes).
+	DistanceIncrease float64
+	// Pairs is the number of ordered PoP pairs aggregated.
+	Pairs int
+}
+
+// Evaluate computes the risk-reduction and distance-increase ratios over all
+// ordered PoP pairs using α-quantized routing (costs are evaluated at each
+// pair's exact α). Pairs i = j are excluded from the average, matching the
+// ratio's intent.
+func (e *Engine) Evaluate() Ratios {
+	return e.evaluateSubset(nil, nil)
+}
+
+// EvaluateSubset restricts the aggregation to the given source and
+// destination PoP index sets (nil means all). Used by the interdomain
+// experiments, where sources are one regional network's PoPs and
+// destinations are every regional PoP.
+func (e *Engine) EvaluateSubset(sources, dests []int) Ratios {
+	return e.evaluateSubset(sources, dests)
+}
+
+func (e *Engine) evaluateSubset(sources, dests []int) Ratios {
+	n := e.N()
+	if sources == nil {
+		sources = make([]int, n)
+		for i := range sources {
+			sources[i] = i
+		}
+	}
+	if dests == nil {
+		dests = make([]int, n)
+		for i := range dests {
+			dests[i] = i
+		}
+	}
+
+	type partial struct {
+		riskSum, distSum float64
+		pairs            int
+	}
+	e.prebuildBuckets()
+	partials := parallelMap(len(sources), e.opts.Workers, func(si int) partial {
+		i := sources[si]
+		var p partial
+		distTree := e.dist.Dijkstra(i)
+		sMiles, sEntered := e.treeMetrics(distTree)
+
+		// Group destinations by α bucket so each bucket's Dijkstra runs once.
+		byBucket := make(map[int][]int)
+		for _, j := range dests {
+			if j == i {
+				continue
+			}
+			byBucket[e.bucketOf(e.Ctx.Alpha(i, j))] = append(byBucket[e.bucketOf(e.Ctx.Alpha(i, j))], j)
+		}
+		for _, b := range sortedInts(byBucket) {
+			js := byBucket[b]
+			tree := e.bucketGraph(b).Dijkstra(i)
+			rMiles, rEntered := e.treeMetrics(tree)
+			for _, j := range js {
+				alpha := e.Ctx.Alpha(i, j)
+				rShortest := sMiles[j] + alpha*sEntered[j]
+				rRR := rMiles[j] + alpha*rEntered[j]
+				// Skip unreachable pairs and zero-cost pairs (co-located
+				// PoPs in composite interdomain graphs have zero miles).
+				if math.IsInf(rShortest, 1) || math.IsInf(rRR, 1) || rShortest == 0 || sMiles[j] == 0 {
+					continue
+				}
+				// The true optimum never exceeds the shortest path's cost;
+				// a quantized route pricing above it is pure bucket error,
+				// and RiskRoute would simply keep the shortest path there.
+				rrMilesJ := rMiles[j]
+				if rRR > rShortest {
+					rRR = rShortest
+					rrMilesJ = sMiles[j]
+				}
+				p.riskSum += rRR / rShortest
+				p.distSum += rrMilesJ / sMiles[j]
+				p.pairs++
+			}
+		}
+		return p
+	})
+
+	var riskSum, distSum float64
+	pairs := 0
+	for _, p := range partials {
+		riskSum += p.riskSum
+		distSum += p.distSum
+		pairs += p.pairs
+	}
+	if pairs == 0 {
+		return Ratios{}
+	}
+	return Ratios{
+		RiskReduction:    1 - riskSum/float64(pairs),
+		DistanceIncrease: distSum/float64(pairs) - 1,
+		Pairs:            pairs,
+	}
+}
+
+// EvaluateExact computes the same ratios with one exact-α Dijkstra per pair.
+// Quadratically many searches: intended for verification and small networks.
+func (e *Engine) EvaluateExact() Ratios {
+	n := e.N()
+	var riskSum, distSum float64
+	pairs := 0
+	for i := 0; i < n; i++ {
+		distTree := e.dist.Dijkstra(i)
+		sMiles, sEntered := e.treeMetrics(distTree)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			alpha := e.Ctx.Alpha(i, j)
+			rr := e.RiskRoutePair(i, j)
+			rShortest := sMiles[j] + alpha*sEntered[j]
+			if math.IsInf(rShortest, 1) || math.IsInf(rr.BitRiskMiles, 1) || rShortest == 0 {
+				continue
+			}
+			riskSum += rr.BitRiskMiles / rShortest
+			distSum += rr.Miles / sMiles[j]
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return Ratios{}
+	}
+	return Ratios{
+		RiskReduction:    1 - riskSum/float64(pairs),
+		DistanceIncrease: distSum/float64(pairs) - 1,
+		Pairs:            pairs,
+	}
+}
+
+// TotalBitRisk returns Equation 4's objective for the current topology: the
+// sum over unordered pairs of the minimum bit-risk miles (α-quantized
+// routing, exact-α pricing).
+func (e *Engine) TotalBitRisk() float64 {
+	n := e.N()
+	e.prebuildBuckets()
+	partials := parallelMap(n, e.opts.Workers, func(i int) float64 {
+		sub := 0.0
+		sMiles, sEntered := e.treeMetrics(e.dist.Dijkstra(i))
+		byBucket := make(map[int][]int)
+		for j := i + 1; j < n; j++ {
+			b := e.bucketOf(e.Ctx.Alpha(i, j))
+			byBucket[b] = append(byBucket[b], j)
+		}
+		for _, b := range sortedInts(byBucket) {
+			js := byBucket[b]
+			tree := e.bucketGraph(b).Dijkstra(i)
+			miles, entered := e.treeMetrics(tree)
+			for _, j := range js {
+				if math.IsInf(miles[j], 1) {
+					continue
+				}
+				alpha := e.Ctx.Alpha(i, j)
+				cost := miles[j] + alpha*entered[j]
+				// Bucket error can price the quantized route above the
+				// plain shortest path; the optimum never does.
+				if s := sMiles[j] + alpha*sEntered[j]; s < cost {
+					cost = s
+				}
+				sub += cost
+			}
+		}
+		return sub
+	})
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// TotalBitRiskSubset sums the minimum bit-risk miles over the given
+// source×destination pairs (unordered: each {i, j} counted once, i = j and
+// unreachable pairs skipped). The interdomain analysis uses this as the
+// lower-bound objective when scoring new peering relationships.
+func (e *Engine) TotalBitRiskSubset(sources, dests []int) float64 {
+	inDest := make(map[int]bool, len(dests))
+	for _, d := range dests {
+		inDest[d] = true
+	}
+	seen := make(map[[2]int]bool)
+	total := 0.0
+	for _, i := range sources {
+		sMiles, sEntered := e.treeMetrics(e.dist.Dijkstra(i))
+		byBucket := make(map[int][]int)
+		for j := range inDest {
+			if j == i {
+				continue
+			}
+			key := [2]int{i, j}
+			if i > j {
+				key = [2]int{j, i}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			byBucket[e.bucketOf(e.Ctx.Alpha(i, j))] = append(byBucket[e.bucketOf(e.Ctx.Alpha(i, j))], j)
+		}
+		for _, b := range sortedInts(byBucket) {
+			js := byBucket[b]
+			sort.Ints(js)
+			tree := e.bucketGraph(b).Dijkstra(i)
+			miles, entered := e.treeMetrics(tree)
+			for _, j := range js {
+				if math.IsInf(miles[j], 1) {
+					continue
+				}
+				alpha := e.Ctx.Alpha(i, j)
+				cost := miles[j] + alpha*entered[j]
+				if s := sMiles[j] + alpha*sEntered[j]; s < cost {
+					cost = s
+				}
+				total += cost
+			}
+		}
+	}
+	return total
+}
+
+// sortedInts returns a sorted copy (helper for deterministic iteration).
+func sortedInts(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/risk"
+	"riskroute/internal/stats"
+	"riskroute/internal/topology"
+)
+
+// gridNet builds a rows×cols lattice network over the central US with
+// deterministic pseudo-random risk and population. Lattices have rich path
+// diversity, which exercises the risk-averse routing.
+func gridNet(rows, cols int, seed uint64) *risk.Context {
+	rng := stats.NewRNG(seed)
+	n := &topology.Network{Name: "Grid", Tier: topology.Tier1}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n.PoPs = append(n.PoPs, topology.PoP{
+				Name:     "P" + string(rune('A'+r)) + string(rune('A'+c)),
+				Location: geo.Point{Lat: 32 + float64(r)*1.5, Lon: -100 + float64(c)*1.8},
+			})
+		}
+	}
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				n.Links = append(n.Links, topology.Link{A: idx(r, c), B: idx(r, c+1)})
+			}
+			if r+1 < rows {
+				n.Links = append(n.Links, topology.Link{A: idx(r, c), B: idx(r+1, c)})
+			}
+		}
+	}
+	hist := make([]float64, rows*cols)
+	fractions := make([]float64, rows*cols)
+	fSum := 0.0
+	for i := range hist {
+		hist[i] = rng.Float64() * 0.5
+		fractions[i] = 0.1 + rng.Float64()
+		fSum += fractions[i]
+	}
+	for i := range fractions {
+		fractions[i] /= fSum
+	}
+	return &risk.Context{
+		Net:       n,
+		Hist:      hist,
+		Fractions: fractions,
+		Params:    risk.Params{LambdaH: 2e3, LambdaF: 1e3},
+	}
+}
+
+func mustEngine(t *testing.T, ctx *risk.Context, opts Options) *Engine {
+	t.Helper()
+	e, err := New(ctx, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	ctx := gridNet(3, 3, 1)
+	ctx.Hist = ctx.Hist[:2]
+	if _, err := New(ctx, Options{}); err == nil {
+		t.Error("misaligned context accepted")
+	}
+	tiny := &risk.Context{
+		Net:  &topology.Network{Name: "One", PoPs: []topology.PoP{{Name: "A"}}},
+		Hist: []float64{0}, Fractions: []float64{1},
+	}
+	if _, err := New(tiny, Options{}); err == nil {
+		t.Error("single-PoP network accepted")
+	}
+}
+
+func TestRiskRoutePairBeatsShortestInBitRisk(t *testing.T) {
+	ctx := gridNet(4, 5, 7)
+	e := mustEngine(t, ctx, Options{})
+	for i := 0; i < e.N(); i += 3 {
+		for j := 1; j < e.N(); j += 4 {
+			if i == j {
+				continue
+			}
+			rr := e.RiskRoutePair(i, j)
+			sp := e.ShortestPair(i, j)
+			if rr.BitRiskMiles > sp.BitRiskMiles+1e-6 {
+				t.Errorf("pair (%d,%d): RiskRoute bit-risk %v > shortest %v",
+					i, j, rr.BitRiskMiles, sp.BitRiskMiles)
+			}
+			if rr.Miles < sp.Miles-1e-6 {
+				t.Errorf("pair (%d,%d): RiskRoute miles %v < shortest-path miles %v",
+					i, j, rr.Miles, sp.Miles)
+			}
+			if rr.Path[0] != i || rr.Path[len(rr.Path)-1] != j {
+				t.Errorf("pair (%d,%d): path endpoints %v", i, j, rr.Path)
+			}
+		}
+	}
+}
+
+func TestPairResultConsistency(t *testing.T) {
+	ctx := gridNet(3, 4, 11)
+	e := mustEngine(t, ctx, Options{})
+	rr := e.RiskRoutePair(0, 11)
+	if got := ctx.PathCost(rr.Path, 0, 11); math.Abs(got-rr.BitRiskMiles) > 1e-9 {
+		t.Errorf("BitRiskMiles %v != PathCost %v", rr.BitRiskMiles, got)
+	}
+	if got := ctx.PathMiles(rr.Path); math.Abs(got-rr.Miles) > 1e-9 {
+		t.Errorf("Miles %v != PathMiles %v", rr.Miles, got)
+	}
+}
+
+func TestEvaluateRatiosRanges(t *testing.T) {
+	ctx := gridNet(4, 4, 3)
+	e := mustEngine(t, ctx, Options{})
+	r := e.Evaluate()
+	if r.Pairs != 16*15 {
+		t.Errorf("Pairs = %d, want %d", r.Pairs, 16*15)
+	}
+	if r.RiskReduction < 0 || r.RiskReduction >= 1 {
+		t.Errorf("RiskReduction = %v, want [0, 1)", r.RiskReduction)
+	}
+	if r.DistanceIncrease < -1e-9 {
+		t.Errorf("DistanceIncrease = %v, want >= 0", r.DistanceIncrease)
+	}
+}
+
+func TestEvaluateMatchesExact(t *testing.T) {
+	ctx := gridNet(3, 4, 5)
+	// Plenty of buckets: quantized should track exact closely.
+	quant := mustEngine(t, ctx, Options{AlphaBuckets: 64}).Evaluate()
+	exact := mustEngine(t, ctx, Options{}).EvaluateExact()
+	if math.Abs(quant.RiskReduction-exact.RiskReduction) > 0.02 {
+		t.Errorf("quantized rr %v vs exact %v", quant.RiskReduction, exact.RiskReduction)
+	}
+	if math.Abs(quant.DistanceIncrease-exact.DistanceIncrease) > 0.02 {
+		t.Errorf("quantized dr %v vs exact %v", quant.DistanceIncrease, exact.DistanceIncrease)
+	}
+	// Exact never reports less reduction than quantized can achieve, up to
+	// floating noise: the exact-α path is optimal per pair.
+	if quant.RiskReduction > exact.RiskReduction+1e-9 {
+		t.Errorf("quantized rr %v exceeds exact %v", quant.RiskReduction, exact.RiskReduction)
+	}
+}
+
+func TestLambdaMonotonicity(t *testing.T) {
+	// Larger λ_h must not decrease the risk-reduction ratio or the distance
+	// inflation — Table 2's headline trend.
+	base := gridNet(4, 4, 9)
+	var prevRR, prevDR float64 = -1, -1
+	for _, lh := range []float64{0, 1e3, 1e4, 1e5} {
+		ctx := *base
+		ctx.Params = risk.Params{LambdaH: lh}
+		r := mustEngine(t, &ctx, Options{AlphaBuckets: 32}).Evaluate()
+		if r.RiskReduction < prevRR-1e-6 {
+			t.Errorf("λ_h=%v: rr %v dropped below %v", lh, r.RiskReduction, prevRR)
+		}
+		if r.DistanceIncrease < prevDR-1e-6 {
+			t.Errorf("λ_h=%v: dr %v dropped below %v", lh, r.DistanceIncrease, prevDR)
+		}
+		prevRR, prevDR = r.RiskReduction, r.DistanceIncrease
+	}
+}
+
+func TestZeroLambdaMeansNoChange(t *testing.T) {
+	ctx := gridNet(3, 3, 13)
+	ctx.Params = risk.Params{}
+	r := mustEngine(t, ctx, Options{}).Evaluate()
+	if math.Abs(r.RiskReduction) > 1e-9 || math.Abs(r.DistanceIncrease) > 1e-9 {
+		t.Errorf("λ=0 should give zero ratios, got %+v", r)
+	}
+}
+
+func TestEvaluateSubset(t *testing.T) {
+	ctx := gridNet(3, 4, 17)
+	e := mustEngine(t, ctx, Options{})
+	r := e.EvaluateSubset([]int{0, 1}, []int{5, 6, 7})
+	if r.Pairs != 6 {
+		t.Errorf("subset Pairs = %d, want 6", r.Pairs)
+	}
+	full := e.Evaluate()
+	if full.Pairs <= r.Pairs {
+		t.Error("full evaluation should cover more pairs")
+	}
+}
+
+func TestTotalBitRiskDecreasesWithLinks(t *testing.T) {
+	ctx := gridNet(3, 4, 19)
+	e := mustEngine(t, ctx, Options{})
+	before := e.TotalBitRisk()
+
+	// Add a diagonal shortcut and re-evaluate.
+	net2 := ctx.Net.Clone()
+	if err := net2.AddLink(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := *ctx
+	ctx2.Net = net2
+	e2 := mustEngine(t, &ctx2, Options{})
+	after := e2.TotalBitRisk()
+	if after > before+1e-9 {
+		t.Errorf("adding a link increased total bit-risk: %v -> %v", before, after)
+	}
+	if after >= before {
+		t.Errorf("diagonal shortcut should strictly reduce total bit-risk (%v -> %v)", before, after)
+	}
+}
+
+// horseshoeNet builds a U-shaped chain of PoPs: the two tips are
+// geographically close but many hops apart, so tip-to-tip pairs pass the
+// paper's >50% bit-mile reduction rule for candidate links.
+func horseshoeNet(arms int, seed uint64) *risk.Context {
+	rng := stats.NewRNG(seed)
+	n := &topology.Network{Name: "Horseshoe", Tier: topology.Tier1}
+	// Down the west arm, across the bottom, up the east arm.
+	for i := 0; i < arms; i++ {
+		n.PoPs = append(n.PoPs, topology.PoP{
+			Name:     "W" + string(rune('A'+i)),
+			Location: geo.Point{Lat: 44 - float64(i)*2, Lon: -100},
+		})
+	}
+	n.PoPs = append(n.PoPs, topology.PoP{
+		Name:     "Base",
+		Location: geo.Point{Lat: 44 - float64(arms)*2, Lon: -97},
+	})
+	for i := 0; i < arms; i++ {
+		n.PoPs = append(n.PoPs, topology.PoP{
+			Name:     "E" + string(rune('A'+i)),
+			Location: geo.Point{Lat: 44 - float64(arms-1-i)*2, Lon: -94},
+		})
+	}
+	for i := 0; i+1 < len(n.PoPs); i++ {
+		n.Links = append(n.Links, topology.Link{A: i, B: i + 1})
+	}
+	total := len(n.PoPs)
+	hist := make([]float64, total)
+	fractions := make([]float64, total)
+	fSum := 0.0
+	for i := range hist {
+		hist[i] = rng.Float64() * 0.5
+		fractions[i] = 0.1 + rng.Float64()
+		fSum += fractions[i]
+	}
+	for i := range fractions {
+		fractions[i] /= fSum
+	}
+	return &risk.Context{
+		Net:       n,
+		Hist:      hist,
+		Fractions: fractions,
+		Params:    risk.Params{LambdaH: 2e3, LambdaF: 1e3},
+	}
+}
+
+func TestCandidateLinksCriterion(t *testing.T) {
+	ctx := horseshoeNet(4, 23)
+	e := mustEngine(t, ctx, Options{})
+	cands := e.CandidateLinks()
+	if len(cands) == 0 {
+		t.Fatal("horseshoe should have tip-to-tip candidates")
+	}
+	distAP := ctx.Net.Graph().AllPairs()
+	for _, c := range cands {
+		if ctx.Net.HasLink(c.A, c.B) {
+			t.Errorf("candidate (%d,%d) already linked", c.A, c.B)
+		}
+		direct := ctx.Net.LinkMiles(c)
+		if direct >= 0.5*distAP[c.A][c.B] {
+			t.Errorf("candidate (%d,%d) violates the >50%% reduction rule", c.A, c.B)
+		}
+	}
+}
+
+func TestBestAdditionalLinkIsOptimalAmongCandidates(t *testing.T) {
+	ctx := horseshoeNet(3, 29)
+	e := mustEngine(t, ctx, Options{AlphaBuckets: 32})
+	best, err := e.BestAdditionalLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: rebuild the engine for every candidate and compare the
+	// exact totals. The bucket-scored winner must be within a whisker of
+	// the true optimum.
+	cands := e.CandidateLinks()
+	bestExact := math.Inf(1)
+	var exactTotals []float64
+	for _, c := range cands {
+		net2 := ctx.Net.Clone()
+		if err := net2.AddLink(c.A, c.B); err != nil {
+			t.Fatal(err)
+		}
+		ctx2 := *ctx
+		ctx2.Net = net2
+		e2 := mustEngine(t, &ctx2, Options{AlphaBuckets: 32})
+		total := e2.TotalBitRisk()
+		exactTotals = append(exactTotals, total)
+		if total < bestExact {
+			bestExact = total
+		}
+	}
+	// The chosen link's exact total.
+	net2 := ctx.Net.Clone()
+	if err := net2.AddLink(best.Link.A, best.Link.B); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := *ctx
+	ctx2.Net = net2
+	chosenTotal := mustEngine(t, &ctx2, Options{AlphaBuckets: 32}).TotalBitRisk()
+	if chosenTotal > bestExact*1.005 {
+		t.Errorf("chosen link total %v, true optimum %v (totals %v)", chosenTotal, bestExact, exactTotals)
+	}
+}
+
+func TestGreedyAdditionalLinksMonotone(t *testing.T) {
+	ctx := horseshoeNet(5, 31)
+	e := mustEngine(t, ctx, Options{})
+	adds, err := e.GreedyAdditionalLinks(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adds) == 0 {
+		t.Fatal("no additions")
+	}
+	base := e.TotalBitRisk()
+	prev := base
+	seen := map[[2]int]bool{}
+	for i, a := range adds {
+		if a.TotalAfter > prev+1e-6 {
+			t.Errorf("step %d increased total: %v -> %v", i, prev, a.TotalAfter)
+		}
+		if math.Abs(a.Fraction-a.TotalAfter/base) > 1e-9 {
+			t.Errorf("step %d fraction inconsistent", i)
+		}
+		key := [2]int{a.Link.A, a.Link.B}
+		if seen[key] {
+			t.Errorf("link %v added twice", key)
+		}
+		seen[key] = true
+		prev = a.TotalAfter
+	}
+	if adds[len(adds)-1].Fraction >= 1 {
+		t.Errorf("final fraction %v, want < 1", adds[len(adds)-1].Fraction)
+	}
+}
+
+func TestGreedyArgErrors(t *testing.T) {
+	ctx := gridNet(3, 3, 37)
+	e := mustEngine(t, ctx, Options{})
+	if _, err := e.GreedyAdditionalLinks(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestBestAdditionalLinkNoCandidates(t *testing.T) {
+	// A fully connected triangle has no candidates.
+	n := &topology.Network{
+		Name: "Tri", Tier: topology.Tier1,
+		PoPs: []topology.PoP{
+			{Name: "A", Location: geo.Point{Lat: 30, Lon: -100}},
+			{Name: "B", Location: geo.Point{Lat: 31, Lon: -99}},
+			{Name: "C", Location: geo.Point{Lat: 30, Lon: -98}},
+		},
+		Links: []topology.Link{{A: 0, B: 1}, {A: 1, B: 2}, {A: 0, B: 2}},
+	}
+	ctx := &risk.Context{
+		Net:       n,
+		Hist:      []float64{0.1, 0.2, 0.3},
+		Fractions: []float64{0.3, 0.3, 0.4},
+		Params:    risk.PaperParams(),
+	}
+	e := mustEngine(t, ctx, Options{})
+	if _, err := e.BestAdditionalLink(); err == nil {
+		t.Error("triangle should have no candidate links")
+	}
+}
+
+func TestBucketOfRange(t *testing.T) {
+	ctx := gridNet(3, 3, 41)
+	e := mustEngine(t, ctx, Options{AlphaBuckets: 8})
+	for i := 0; i < e.N(); i++ {
+		for j := 0; j < e.N(); j++ {
+			b := e.bucketOf(e.Ctx.Alpha(i, j))
+			if b < 0 || b >= 8 {
+				t.Fatalf("bucket %d out of range", b)
+			}
+		}
+	}
+	// Out-of-range alphas clamp.
+	if e.bucketOf(-1) != 0 || e.bucketOf(99) != 7 {
+		t.Error("bucketOf should clamp")
+	}
+}
+
+func TestUniformFractionsSingleBucket(t *testing.T) {
+	ctx := gridNet(3, 3, 43)
+	for i := range ctx.Fractions {
+		ctx.Fractions[i] = 1.0 / 9
+	}
+	e := mustEngine(t, ctx, Options{AlphaBuckets: 16})
+	if len(e.buckets) != 1 {
+		t.Errorf("uniform fractions should collapse to one bucket, got %d", len(e.buckets))
+	}
+	// And quantized == exact in that case.
+	q := e.Evaluate()
+	x := e.EvaluateExact()
+	if math.Abs(q.RiskReduction-x.RiskReduction) > 1e-9 {
+		t.Errorf("single-bucket rr %v != exact %v", q.RiskReduction, x.RiskReduction)
+	}
+}
+
+func BenchmarkEvaluateGrid36(b *testing.B) {
+	ctx := gridNet(6, 6, 47)
+	e, err := New(ctx, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate()
+	}
+}
+
+func BenchmarkRiskRoutePair(b *testing.B) {
+	ctx := gridNet(6, 6, 53)
+	e, err := New(ctx, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RiskRoutePair(i%36, (i+17)%36)
+	}
+}
+
+func BenchmarkScoreCandidatesGrid25(b *testing.B) {
+	ctx := gridNet(5, 5, 59)
+	e, err := New(ctx, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := e.CandidateLinks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScoreCandidates(cands)
+	}
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	// Results must be bit-identical at any worker count: per-source partials
+	// are reduced in source order.
+	ctx := gridNet(5, 5, 137)
+	seq := mustEngine(t, ctx, Options{Workers: 1})
+	par := mustEngine(t, ctx, Options{Workers: 8})
+	rs := seq.Evaluate()
+	rp := par.Evaluate()
+	if rs != rp {
+		t.Errorf("sequential %+v != parallel %+v", rs, rp)
+	}
+	ts := seq.TotalBitRisk()
+	tp := par.TotalBitRisk()
+	if ts != tp {
+		t.Errorf("sequential total %v != parallel %v", ts, tp)
+	}
+	sub1 := seq.EvaluateSubset([]int{0, 3, 7}, []int{10, 20, 24})
+	sub8 := par.EvaluateSubset([]int{0, 3, 7}, []int{10, 20, 24})
+	if sub1 != sub8 {
+		t.Errorf("subset: sequential %+v != parallel %+v", sub1, sub8)
+	}
+}

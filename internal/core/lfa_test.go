@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForwardingTableCompleteness(t *testing.T) {
+	ctx := gridNet(4, 4, 107)
+	e := mustEngine(t, ctx, Options{})
+	table, err := e.ForwardingTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != e.N()-1 {
+		t.Fatalf("table has %d entries for %d destinations", len(table), e.N()-1)
+	}
+	for _, entry := range table {
+		if entry.NextHop == -1 {
+			t.Errorf("dest %d unreachable in a connected lattice", entry.Dest)
+		}
+		if entry.NextHop == entry.Backup && entry.Backup != -1 {
+			t.Errorf("dest %d: backup equals primary", entry.Dest)
+		}
+	}
+	// Interior lattice sources have rich connectivity: most destinations
+	// should enjoy an LFA.
+	table5, err := e.ForwardingTable(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBackup := 0
+	for _, entry := range table5 {
+		if entry.Backup != -1 {
+			withBackup++
+		}
+	}
+	if withBackup < len(table5)/2 {
+		t.Errorf("only %d/%d destinations have an LFA from an interior node", withBackup, len(table5))
+	}
+}
+
+func TestForwardingTableLoopFreedom(t *testing.T) {
+	// The LFA guarantee: the backup neighbor's own best path to the
+	// destination never returns through the source.
+	ctx := gridNet(4, 4, 109)
+	e := mustEngine(t, ctx, Options{})
+	src := 5
+	table, err := e.ForwardingTable(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the α̅-weighted graph the table used.
+	meanAlpha := 0.0
+	for _, f := range e.Ctx.Fractions {
+		meanAlpha += f
+	}
+	meanAlpha = 2 * meanAlpha / float64(e.N())
+	g := e.Ctx.WeightedGraph(meanAlpha)
+
+	for _, entry := range table {
+		if entry.Backup == -1 {
+			continue
+		}
+		tree := g.Dijkstra(entry.Backup)
+		path := tree.PathTo(entry.Dest)
+		if path == nil {
+			t.Fatalf("backup %d cannot reach dest %d", entry.Backup, entry.Dest)
+		}
+		for _, v := range path {
+			if v == src {
+				t.Errorf("dest %d: backup %d loops back through source %d", entry.Dest, entry.Backup, src)
+			}
+		}
+	}
+}
+
+func TestForwardingTableLine(t *testing.T) {
+	// On a pure line no LFAs exist at the endpoints (single neighbor).
+	ctx := horseshoeNet(2, 113)
+	e := mustEngine(t, ctx, Options{})
+	table, err := e.ForwardingTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range table {
+		if entry.NextHop != 1 {
+			t.Errorf("line: dest %d next hop %d, want 1", entry.Dest, entry.NextHop)
+		}
+		if entry.Backup != -1 {
+			t.Errorf("line endpoint cannot have an LFA, dest %d got %d", entry.Dest, entry.Backup)
+		}
+	}
+}
+
+func TestForwardingTableValidation(t *testing.T) {
+	ctx := gridNet(3, 3, 127)
+	e := mustEngine(t, ctx, Options{})
+	if _, err := e.ForwardingTable(-1); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := e.ForwardingTable(99); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestForwardingNextHopOnOptimalPath(t *testing.T) {
+	ctx := gridNet(3, 4, 131)
+	e := mustEngine(t, ctx, Options{})
+	src := 0
+	table, err := e.ForwardingTable(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanAlpha := 0.0
+	for _, f := range e.Ctx.Fractions {
+		meanAlpha += f
+	}
+	meanAlpha = 2 * meanAlpha / float64(e.N())
+	g := e.Ctx.WeightedGraph(meanAlpha)
+	tree := g.Dijkstra(src)
+	for _, entry := range table {
+		path := tree.PathTo(entry.Dest)
+		if path == nil || len(path) < 2 {
+			t.Fatalf("dest %d: bad path %v", entry.Dest, path)
+		}
+		if entry.NextHop != path[1] {
+			t.Errorf("dest %d: next hop %d, optimal tree says %d", entry.Dest, entry.NextHop, path[1])
+		}
+		if math.IsInf(tree.Dist[entry.Dest], 1) {
+			t.Errorf("dest %d unreachable", entry.Dest)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap evaluates fn over 0..n-1 with at most workers goroutines and
+// returns the results index-aligned, so callers can reduce them in a fixed
+// order and keep floating-point results identical at any parallelism level.
+func parallelMap[T any](n, workers int, fn func(i int) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// prebuildBuckets materializes every bucket graph up front so parallel
+// workers never race on the lazy initialization.
+func (e *Engine) prebuildBuckets() {
+	for b := range e.buckets {
+		e.bucketGraph(b)
+	}
+}

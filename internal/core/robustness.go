@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"riskroute/internal/graph"
+	"riskroute/internal/risk"
+	"riskroute/internal/topology"
+)
+
+// The robustness analysis (Section 6.3, Equation 4) searches the candidate
+// set E_C — PoP pairs that are not yet linked and whose direct link would
+// cut the pair's bit-miles by more than 50%, the paper's rule for excluding
+// impractical cross-country links — for the link whose addition minimizes
+// the network's total aggregated bit-risk miles. Candidate scoring uses the
+// α-bucket all-pairs tables with the exact single-added-edge identity, so
+// each candidate costs O(N²) lookups instead of a full re-route.
+
+// Candidate is one potential new link with its scored objective.
+type Candidate struct {
+	Link topology.Link
+	// Total is Equation 4's objective if this link were added (α-bucket
+	// approximation, lower is better).
+	Total float64
+	// DirectMiles is the line-of-sight length of the new link.
+	DirectMiles float64
+	// ShortestMiles is the current shortest-path distance between the
+	// endpoints, for reference.
+	ShortestMiles float64
+}
+
+// CandidateLinks returns E_C sorted by endpoint indices: unlinked PoP pairs
+// whose direct connection would reduce the pair's bit-miles by more than
+// half.
+func (e *Engine) CandidateLinks() []topology.Link {
+	n := e.N()
+	distAP := graph.NewAllPairsTable(e.dist)
+	var out []topology.Link
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if e.Ctx.Net.HasLink(a, b) {
+				continue
+			}
+			direct := e.Ctx.Net.LinkMiles(topology.Link{A: a, B: b})
+			if direct < (1-e.opts.CandidateReduction)*distAP.Dist[a][b] {
+				out = append(out, topology.Link{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// ScoreCandidates evaluates Equation 4 for every candidate link and returns
+// them sorted by ascending objective (best first). Ties break toward lower
+// endpoint indices for determinism.
+func (e *Engine) ScoreCandidates(candidates []topology.Link) []Candidate {
+	n := e.N()
+	distAP := graph.NewAllPairsTable(e.dist)
+
+	// One all-pairs table per α bucket actually used by some pair.
+	used := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			used[e.bucketOf(e.Ctx.Alpha(i, j))] = true
+		}
+	}
+	tables := make(map[int]*graph.AllPairsTable, len(used))
+	for b := range used {
+		tables[b] = graph.NewAllPairsTable(e.bucketGraph(b))
+	}
+
+	out := make([]Candidate, 0, len(candidates))
+	for _, c := range candidates {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				b := e.bucketOf(e.Ctx.Alpha(i, j))
+				w := e.Ctx.EdgeWeight(c.A, c.B, e.buckets[b])
+				d := tables[b].WithEdge(i, j, c.A, c.B, w)
+				if !math.IsInf(d, 1) {
+					total += d
+				}
+			}
+		}
+		out = append(out, Candidate{
+			Link:          c,
+			Total:         total,
+			DirectMiles:   e.Ctx.Net.LinkMiles(c),
+			ShortestMiles: distAP.Dist[c.A][c.B],
+		})
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Total != out[y].Total {
+			return out[x].Total < out[y].Total
+		}
+		if out[x].Link.A != out[y].Link.A {
+			return out[x].Link.A < out[y].Link.A
+		}
+		return out[x].Link.B < out[y].Link.B
+	})
+	return out
+}
+
+// BestAdditionalLink solves Equation 4: the single candidate link whose
+// addition minimizes the total aggregated bit-risk miles. It returns an
+// error if the candidate set is empty.
+func (e *Engine) BestAdditionalLink() (Candidate, error) {
+	cands := e.CandidateLinks()
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("core: network %q has no candidate links", e.Ctx.Net.Name)
+	}
+	scored := e.ScoreCandidates(cands)
+	return scored[0], nil
+}
+
+// Addition records one step of the greedy link-addition sweep.
+type Addition struct {
+	Link topology.Link
+	// TotalAfter is the network's exact total bit-risk miles after adding
+	// this and all earlier links.
+	TotalAfter float64
+	// Fraction is TotalAfter divided by the original network's total — the
+	// y-axis of the paper's Figure 10.
+	Fraction float64
+}
+
+// GreedyAdditionalLinks adds k links one at a time, each chosen by Equation
+// 4 against the network as augmented so far (the paper's greedy
+// methodology), and reports the exact objective after each addition. It
+// stops early if a step has no candidates left.
+func (e *Engine) GreedyAdditionalLinks(k int) ([]Addition, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: GreedyAdditionalLinks needs k >= 1")
+	}
+	base := e.TotalBitRisk()
+	if base == 0 {
+		return nil, fmt.Errorf("core: zero base bit-risk")
+	}
+
+	cur := e
+	net := e.Ctx.Net
+	var out []Addition
+	for step := 0; step < k; step++ {
+		best, err := cur.BestAdditionalLink()
+		if err != nil {
+			break // no candidates left; return what we have
+		}
+		net = net.Clone()
+		if err := net.AddLink(best.Link.A, best.Link.B); err != nil {
+			return nil, fmt.Errorf("core: greedy step %d: %w", step, err)
+		}
+		ctx := &risk.Context{
+			Net:       net,
+			Hist:      cur.Ctx.Hist,
+			Forecast:  cur.Ctx.Forecast,
+			Fractions: cur.Ctx.Fractions,
+			Params:    cur.Ctx.Params,
+		}
+		next, err := New(ctx, cur.opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: greedy step %d: %w", step, err)
+		}
+		total := next.TotalBitRisk()
+		out = append(out, Addition{
+			Link:       best.Link,
+			TotalAfter: total,
+			Fraction:   total / base,
+		})
+		cur = next
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: network %q has no candidate links", e.Ctx.Net.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,563 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/topology"
+)
+
+func TestGazetteerValidity(t *testing.T) {
+	if len(Cities) < 233 {
+		t.Fatalf("gazetteer has %d cities; Level3 needs 233", len(Cities))
+	}
+	for _, c := range Cities {
+		if !geo.ContinentalUS.Contains(c.Location()) {
+			t.Errorf("city %s at %v outside continental US box", c.Name, c.Location())
+		}
+		if c.Population <= 0 {
+			t.Errorf("city %s has non-positive population", c.Name)
+		}
+		if len(c.State) != 2 {
+			t.Errorf("city %s has bad state %q", c.Name, c.State)
+		}
+	}
+	if !HasCity("Chicago") || HasCity("Gotham") {
+		t.Error("HasCity misbehaving")
+	}
+	if CityByName("Houston").State != "TX" {
+		t.Error("CityByName returned wrong city")
+	}
+}
+
+func TestCityByNameUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown city should panic")
+		}
+	}()
+	CityByName("Gotham")
+}
+
+func TestCitiesInStates(t *testing.T) {
+	ms := CitiesInStates("MS")
+	if len(ms) == 0 {
+		t.Fatal("no Mississippi cities")
+	}
+	for _, c := range ms {
+		if c.State != "MS" {
+			t.Errorf("city %s leaked into MS query", c.Name)
+		}
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Population > ms[i-1].Population {
+			t.Error("CitiesInStates not sorted by descending population")
+		}
+	}
+}
+
+func TestBuildNetworksCounts(t *testing.T) {
+	nets := BuildNetworks()
+	if len(nets) != 23 {
+		t.Fatalf("built %d networks, want 23", len(nets))
+	}
+
+	// Paper Table 2 PoP counts for the Tier-1 networks.
+	wantTier1 := map[string]int{
+		"Level3": 233, "AT&T": 25, "DT": 10, "NTT": 12,
+		"Sprint": 24, "Tinet": 35, "Teliasonera": 15,
+	}
+	tier1Total, regionalTotal := 0, 0
+	tier1Count, regionalCount := 0, 0
+	for _, n := range nets {
+		if err := n.Validate(); err != nil {
+			t.Errorf("network %s invalid: %v", n.Name, err)
+		}
+		switch n.Tier {
+		case topology.Tier1:
+			tier1Count++
+			tier1Total += len(n.PoPs)
+			if want, ok := wantTier1[n.Name]; !ok {
+				t.Errorf("unexpected tier-1 network %s", n.Name)
+			} else if len(n.PoPs) != want {
+				t.Errorf("%s has %d PoPs, want %d", n.Name, len(n.PoPs), want)
+			}
+		case topology.Regional:
+			regionalCount++
+			regionalTotal += len(n.PoPs)
+		}
+	}
+	if tier1Count != 7 || regionalCount != 16 {
+		t.Errorf("got %d tier-1 and %d regional networks, want 7 and 16", tier1Count, regionalCount)
+	}
+	// Section 4.1: 354 Tier-1 PoPs and 455 regional PoPs.
+	if tier1Total != 354 {
+		t.Errorf("tier-1 PoP total = %d, want 354", tier1Total)
+	}
+	if regionalTotal != 455 {
+		t.Errorf("regional PoP total = %d, want 455", regionalTotal)
+	}
+}
+
+func TestBuildNetworksDeterministicAndIsolated(t *testing.T) {
+	a := BuildNetworks()
+	b := BuildNetworks()
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].PoPs) != len(b[i].PoPs) || len(a[i].Links) != len(b[i].Links) {
+			t.Fatalf("network %d differs between builds", i)
+		}
+		for j := range a[i].PoPs {
+			if a[i].PoPs[j] != b[i].PoPs[j] {
+				t.Fatalf("network %s PoP %d differs", a[i].Name, j)
+			}
+		}
+	}
+	// Mutating a returned network must not leak into future builds.
+	if err := a[0].AddLink(0, len(a[0].PoPs)-1); err != nil {
+		// The link may already exist; pick another pair if so.
+		_ = a[0].AddLink(1, len(a[0].PoPs)-2)
+	}
+	c := BuildNetworks()
+	if len(c[0].Links) != len(b[0].Links) {
+		t.Error("mutation of returned clone leaked into cache")
+	}
+}
+
+func TestNetworkHelpers(t *testing.T) {
+	if n := NetworkByName("Sprint"); n == nil || n.Tier != topology.Tier1 {
+		t.Error("NetworkByName(Sprint) wrong")
+	}
+	if NetworkByName("NoSuchNet") != nil {
+		t.Error("NetworkByName should return nil for unknown names")
+	}
+	if got := len(Tier1Networks()); got != 7 {
+		t.Errorf("Tier1Networks = %d, want 7", got)
+	}
+	if got := len(RegionalNetworks()); got != 16 {
+		t.Errorf("RegionalNetworks = %d, want 16", got)
+	}
+}
+
+func TestRegionalNetworksConfinedToStates(t *testing.T) {
+	want := map[string][]string{
+		"Telepak":  {"MS", "LA", "AL", "TN"},
+		"NTS":      {"TX"},
+		"Costreet": {"LA", "MS"},
+		"Bluebird": {"MO", "IL", "IA", "KS"},
+	}
+	for name, states := range want {
+		n := NetworkByName(name)
+		if n == nil {
+			t.Fatalf("network %s missing", name)
+		}
+		allowed := map[string]bool{}
+		for _, s := range states {
+			allowed[s] = true
+		}
+		for _, p := range n.PoPs {
+			if !allowed[p.State] {
+				t.Errorf("%s PoP %s in state %s, outside scope %v", name, p.Name, p.State, states)
+			}
+		}
+	}
+}
+
+func TestAbileneMatchesInternet2(t *testing.T) {
+	n := NetworkByName("Abilene")
+	if n == nil || len(n.PoPs) != 11 {
+		t.Fatalf("Abilene should have the 11 historical Internet2 PoPs")
+	}
+	for _, name := range []string{"Seattle", "Denver", "Houston", "Chicago", "New York", "Sunnyvale"} {
+		if n.PoPIndex(name) == -1 {
+			t.Errorf("Abilene missing %s", name)
+		}
+	}
+}
+
+func TestPeeringMeshResolvesAndIsConnected(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range BuildNetworks() {
+		names[n.Name] = true
+	}
+	adj := map[string][]string{}
+	for _, p := range PeeringPairs {
+		if !names[p[0]] || !names[p[1]] {
+			t.Errorf("peering pair %v references unknown network", p)
+		}
+		if p[0] == p[1] {
+			t.Errorf("self-peering %v", p)
+		}
+		adj[p[0]] = append(adj[p[0]], p[1])
+		adj[p[1]] = append(adj[p[1]], p[0])
+	}
+	// Every network appears in the mesh and the mesh is connected.
+	for name := range names {
+		if len(adj[name]) == 0 {
+			t.Errorf("network %s has no peers", name)
+		}
+	}
+	seen := map[string]bool{}
+	stack := []string{"Level3"}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	if len(seen) != len(names) {
+		t.Errorf("peering mesh connects %d of %d networks", len(seen), len(names))
+	}
+}
+
+func TestPeeredNetworksShareACity(t *testing.T) {
+	nets := map[string]*topology.Network{}
+	for _, n := range BuildNetworks() {
+		nets[n.Name] = n
+	}
+	for _, p := range PeeringPairs {
+		a, b := nets[p[0]], nets[p[1]]
+		shared := false
+		bCities := map[string]bool{}
+		for _, pop := range b.PoPs {
+			bCities[pop.Name] = true
+		}
+		for _, pop := range a.PoPs {
+			if bCities[pop.Name] {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			t.Errorf("peers %s and %s share no city: interdomain graph cannot connect them", p[0], p[1])
+		}
+	}
+}
+
+func TestPeersOfAndArePeered(t *testing.T) {
+	peers := PeersOf("Telepak")
+	if len(peers) != 2 || peers[0] != "Iris" || peers[1] != "Level3" {
+		t.Errorf("PeersOf(Telepak) = %v", peers)
+	}
+	if !ArePeered("Level3", "AT&T") || !ArePeered("AT&T", "Level3") {
+		t.Error("ArePeered should be symmetric")
+	}
+	if ArePeered("Telepak", "AT&T") {
+		t.Error("Telepak and AT&T should not be peered (Figure 11 must discover AT&T)")
+	}
+}
+
+func TestGenerateCensus(t *testing.T) {
+	c := GenerateCensus(CensusConfig{Blocks: 5000, Seed: 2})
+	if len(c.Blocks) != 5000 {
+		t.Fatalf("generated %d blocks, want 5000", len(c.Blocks))
+	}
+	if c.Total() <= 0 {
+		t.Fatal("zero total population")
+	}
+	states := map[string]bool{}
+	for _, b := range c.Blocks {
+		if !geo.ContinentalUS.Contains(b.Location) {
+			t.Fatalf("block at %v outside continental US", b.Location)
+		}
+		if b.Population < 0 {
+			t.Fatal("negative block population")
+		}
+		if len(b.State) != 2 {
+			t.Fatalf("block has bad state %q", b.State)
+		}
+		states[b.State] = true
+	}
+	if len(states) < 40 {
+		t.Errorf("census covers only %d states", len(states))
+	}
+	// Determinism.
+	c2 := GenerateCensus(CensusConfig{Blocks: 5000, Seed: 2})
+	for i := range c.Blocks {
+		if c.Blocks[i] != c2.Blocks[i] {
+			t.Fatal("census generation not deterministic")
+		}
+	}
+	// Different seeds differ.
+	c3 := GenerateCensus(CensusConfig{Blocks: 5000, Seed: 3})
+	same := 0
+	for i := range c.Blocks {
+		if c.Blocks[i] == c3.Blocks[i] {
+			same++
+		}
+	}
+	if same == len(c.Blocks) {
+		t.Error("different seeds produced identical censuses")
+	}
+}
+
+func TestGenerateCensusTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny census budget should panic")
+		}
+	}()
+	GenerateCensus(CensusConfig{Blocks: 100})
+}
+
+func TestCensusDensityReflectsCities(t *testing.T) {
+	c := GenerateCensus(CensusConfig{Blocks: 8000, Seed: 5})
+	grid := geo.NewGrid(geo.ContinentalUS, 25, 50)
+	field := c.DensityField(grid)
+	at := func(p geo.Point) float64 {
+		r, col := grid.Cell(p)
+		return field[grid.Index(r, col)]
+	}
+	nyc := at(CityByName("New York").Location())
+	wyoming := at(geo.Point{Lat: 43.0, Lon: -107.5})
+	if nyc < 20*wyoming {
+		t.Errorf("NYC cell population %v not ≫ rural Wyoming %v", nyc, wyoming)
+	}
+}
+
+func TestGenerateEventsCountsAndBounds(t *testing.T) {
+	for _, et := range EventTypes {
+		events := GenerateEvents(et, 500, 1)
+		if len(events) != 500 {
+			t.Fatalf("%v: got %d events", et, len(events))
+		}
+		for _, e := range events {
+			if !geo.ContinentalUS.Contains(e) {
+				t.Fatalf("%v event at %v outside continental US", et, e)
+			}
+		}
+	}
+	// Default count matches the paper.
+	if got := len(GenerateEvents(NOAAEarthquake, 0, 1)); got != 2267 {
+		t.Errorf("default earthquake count = %d, want 2267", got)
+	}
+}
+
+func TestGenerateEventsGeography(t *testing.T) {
+	meanLon := func(events []geo.Point) float64 {
+		s := 0.0
+		for _, e := range events {
+			s += e.Lon
+		}
+		return s / float64(len(events))
+	}
+	meanLat := func(events []geo.Point) float64 {
+		s := 0.0
+		for _, e := range events {
+			s += e.Lat
+		}
+		return s / float64(len(events))
+	}
+	quakes := GenerateEvents(NOAAEarthquake, 2000, 1)
+	hurricanes := GenerateEvents(FEMAHurricane, 2000, 1)
+	tornadoes := GenerateEvents(FEMATornado, 2000, 1)
+
+	if meanLon(quakes) > -105 {
+		t.Errorf("earthquakes mean lon %v: should be strongly western", meanLon(quakes))
+	}
+	if meanLon(hurricanes) < -95 {
+		t.Errorf("hurricanes mean lon %v: should be Gulf/Atlantic", meanLon(hurricanes))
+	}
+	if lat := meanLat(hurricanes); lat > 34 {
+		t.Errorf("hurricanes mean lat %v: should be southern", lat)
+	}
+	// Tornadoes concentrate in the plains: most events between -104 and -84.
+	inPlains := 0
+	for _, e := range tornadoes {
+		if e.Lon > -104 && e.Lon < -84 {
+			inPlains++
+		}
+	}
+	if float64(inPlains)/float64(len(tornadoes)) < 0.8 {
+		t.Errorf("only %d/%d tornadoes in the plains band", inPlains, len(tornadoes))
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	if FEMAHurricane.String() != "FEMA Hurricane" || NOAAWind.String() != "NOAA Wind" {
+		t.Error("event type names wrong")
+	}
+	if FEMAStorm.PaperCount() != 20623 {
+		t.Error("storm paper count wrong")
+	}
+}
+
+func TestHurricaneTracks(t *testing.T) {
+	if len(Hurricanes) != 3 {
+		t.Fatalf("embedded %d hurricanes, want 3", len(Hurricanes))
+	}
+	wantAdvisories := map[string]int{"Irene": 70, "Katrina": 61, "Sandy": 60}
+	for _, h := range Hurricanes {
+		if h.Advisories != wantAdvisories[h.Name] {
+			t.Errorf("%s advisories = %d, want %d", h.Name, h.Advisories, wantAdvisories[h.Name])
+		}
+		for i := 1; i < len(h.Points); i++ {
+			if !h.Points[i].Time.After(h.Points[i-1].Time) {
+				t.Errorf("%s track times not strictly increasing at %d", h.Name, i)
+			}
+		}
+		for _, p := range h.Points {
+			if p.TropicalRadiusMi < p.HurricaneRadiusMi {
+				t.Errorf("%s at %v: tropical radius %v < hurricane radius %v",
+					h.Name, p.Time, p.TropicalRadiusMi, p.HurricaneRadiusMi)
+			}
+		}
+	}
+	if HurricaneByName("Katrina") == nil || HurricaneByName("Bob") != nil {
+		t.Error("HurricaneByName misbehaving")
+	}
+}
+
+func TestTrackLandfalls(t *testing.T) {
+	// Katrina's landfall fix should be near the Louisiana coast.
+	k := HurricaneByName("Katrina")
+	landfall := k.At(utc(2005, 8, 29, 11))
+	nola := CityByName("New Orleans").Location()
+	if d := geo.Distance(landfall.Center, nola); d > 120 {
+		t.Errorf("Katrina landfall %v is %v miles from New Orleans", landfall.Center, d)
+	}
+	// Sandy's landfall should be near the New Jersey coast.
+	s := HurricaneByName("Sandy")
+	landfall = s.At(utc(2012, 10, 29, 21))
+	ac := CityByName("Atlantic City").Location()
+	if d := geo.Distance(landfall.Center, ac); d > 120 {
+		t.Errorf("Sandy landfall %v is %v miles from Atlantic City", landfall.Center, d)
+	}
+	// Irene's first US landfall near the NC coast.
+	i := HurricaneByName("Irene")
+	landfall = i.At(utc(2011, 8, 27, 12))
+	wilm := CityByName("Wilmington NC").Location()
+	if d := geo.Distance(landfall.Center, wilm); d > 180 {
+		t.Errorf("Irene NC landfall %v is %v miles from Wilmington NC", landfall.Center, d)
+	}
+}
+
+func TestTrackInterpolation(t *testing.T) {
+	k := HurricaneByName("Katrina")
+	start, end := k.Span()
+	// Clamping.
+	before := k.At(start.Add(-24 * 3600 * 1e9))
+	if before.Center != k.Points[0].Center {
+		t.Error("At before start should clamp to first fix")
+	}
+	after := k.At(end.Add(24 * 3600 * 1e9))
+	if after.Center != k.Points[len(k.Points)-1].Center {
+		t.Error("At after end should clamp to last fix")
+	}
+	// Midpoint between two fixes lies between them geographically.
+	a, b := k.Points[7], k.Points[8]
+	mid := k.At(a.Time.Add(b.Time.Sub(a.Time) / 2))
+	dA := geo.Distance(mid.Center, a.Center)
+	dB := geo.Distance(mid.Center, b.Center)
+	total := geo.Distance(a.Center, b.Center)
+	if math.Abs(dA+dB-total) > 1 {
+		t.Errorf("interpolated center not on segment: %v + %v vs %v", dA, dB, total)
+	}
+	// Radii interpolate linearly.
+	wantTrop := (a.TropicalRadiusMi + b.TropicalRadiusMi) / 2
+	if math.Abs(mid.TropicalRadiusMi-wantTrop) > 1e-9 {
+		t.Errorf("tropical radius = %v, want %v", mid.TropicalRadiusMi, wantTrop)
+	}
+	// Exact fix time returns the fix.
+	atFix := k.At(a.Time)
+	if geo.Distance(atFix.Center, a.Center) > 1e-9 && atFix.Center != a.Center {
+		t.Errorf("At(fix time) = %v, want %v", atFix.Center, a.Center)
+	}
+}
+
+func TestLevel3IsDensest(t *testing.T) {
+	// The paper singles out Level3's high connectivity. Its average
+	// outdegree should exceed every other Tier-1's.
+	nets := Tier1Networks()
+	var level3 float64
+	for _, n := range nets {
+		if n.Name == "Level3" {
+			level3 = n.AverageOutdegree()
+		}
+	}
+	for _, n := range nets {
+		if n.Name != "Level3" && n.AverageOutdegree() >= level3 {
+			t.Errorf("%s outdegree %.2f >= Level3 %.2f", n.Name, n.AverageOutdegree(), level3)
+		}
+	}
+}
+
+func BenchmarkBuildNetworks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BuildNetworks()
+	}
+}
+
+func BenchmarkGenerateCensus20k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateCensus(CensusConfig{Blocks: 20000, Seed: uint64(i + 1)})
+	}
+}
+
+func BenchmarkGenerateEventsWind(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateEvents(NOAAWind, 10000, uint64(i+1))
+	}
+}
+
+func TestCorpusRoundTripsNativeFormat(t *testing.T) {
+	// Every embedded network must survive Write -> Parse unchanged: this is
+	// the corpus users export, edit, and feed back via -topology.
+	nets := BuildNetworks()
+	var buf bytes.Buffer
+	if err := topology.Write(&buf, nets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := topology.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(nets) {
+		t.Fatalf("round trip: %d networks, want %d", len(got), len(nets))
+	}
+	for i, n := range got {
+		orig := nets[i]
+		if n.Name != orig.Name || n.Tier != orig.Tier ||
+			len(n.PoPs) != len(orig.PoPs) || len(n.Links) != len(orig.Links) {
+			t.Errorf("network %s changed in round trip", orig.Name)
+			continue
+		}
+		for j := range n.PoPs {
+			if n.PoPs[j].Name != orig.PoPs[j].Name || n.PoPs[j].State != orig.PoPs[j].State {
+				t.Errorf("%s PoP %d metadata changed", orig.Name, j)
+				break
+			}
+			if geo.Distance(n.PoPs[j].Location, orig.PoPs[j].Location) > 0.01 {
+				t.Errorf("%s PoP %d location drifted", orig.Name, j)
+				break
+			}
+		}
+		for j := range n.Links {
+			if n.Links[j] != orig.Links[j] {
+				t.Errorf("%s link %d changed", orig.Name, j)
+				break
+			}
+		}
+	}
+}
+
+func TestCorpusRoundTripsGraphML(t *testing.T) {
+	for _, n := range Tier1Networks() {
+		var buf bytes.Buffer
+		if err := topology.WriteGraphML(&buf, n); err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		got, err := topology.ParseGraphML(&buf, n.Name, n.Tier)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if len(got.PoPs) != len(n.PoPs) || len(got.Links) != len(n.Links) {
+			t.Errorf("%s graphml round trip: %d/%d PoPs, %d/%d links",
+				n.Name, len(got.PoPs), len(n.PoPs), len(got.Links), len(n.Links))
+		}
+	}
+}

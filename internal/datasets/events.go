@@ -1,0 +1,247 @@
+package datasets
+
+import (
+	"fmt"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/stats"
+)
+
+// The paper's historical outage risk model consumes five disaster catalogs
+// (Section 4.3): FEMA emergency declarations 1970-2010 for hurricanes
+// (2,805), tornadoes (6,437), and severe storms (20,623), plus NOAA records
+// of earthquakes (2,267) and damaging wind (143,847). The synthetic
+// generators below draw from per-type spatial mixture models that encode the
+// geography the paper reports in Figure 4: hurricanes along the Gulf and
+// Atlantic coasts, tornadoes in the central plains and Dixie alley, severe
+// storms over the central/eastern US, earthquakes on the west coast (plus
+// the New Madrid zone), and damaging wind broadly east of the Rockies.
+
+// EventType identifies one disaster catalog.
+type EventType int
+
+const (
+	// FEMAHurricane models FEMA hurricane emergency declarations.
+	FEMAHurricane EventType = iota
+	// FEMATornado models FEMA tornado declarations.
+	FEMATornado
+	// FEMAStorm models FEMA severe-storm declarations.
+	FEMAStorm
+	// NOAAEarthquake models NOAA-recorded earthquakes.
+	NOAAEarthquake
+	// NOAAWind models NOAA damaging-wind events.
+	NOAAWind
+)
+
+// EventTypes lists all catalogs in the order the paper's Table 1 reports
+// them.
+var EventTypes = []EventType{FEMAHurricane, FEMATornado, FEMAStorm, NOAAEarthquake, NOAAWind}
+
+// String returns the catalog's display name as used in Table 1.
+func (t EventType) String() string {
+	switch t {
+	case FEMAHurricane:
+		return "FEMA Hurricane"
+	case FEMATornado:
+		return "FEMA Tornado"
+	case FEMAStorm:
+		return "FEMA Storm"
+	case NOAAEarthquake:
+		return "NOAA Earthquake"
+	case NOAAWind:
+		return "NOAA Wind"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// PaperCount returns the catalog size reported in the paper (Table 1).
+func (t EventType) PaperCount() int {
+	switch t {
+	case FEMAHurricane:
+		return 2805
+	case FEMATornado:
+		return 6437
+	case FEMAStorm:
+		return 20623
+	case NOAAEarthquake:
+		return 2267
+	case NOAAWind:
+		return 143847
+	default:
+		panic("datasets: unknown event type")
+	}
+}
+
+// PaperBandwidth returns the CV-trained kernel bandwidth the paper reports
+// for this catalog in Table 1, in miles. These serve as the default
+// bandwidths for the historical risk model; the Table 1 experiment re-runs
+// the cross-validation against the synthetic catalogs.
+func (t EventType) PaperBandwidth() float64 {
+	switch t {
+	case FEMAHurricane:
+		return 71.56
+	case FEMATornado:
+		return 59.48
+	case FEMAStorm:
+		return 24.38
+	case NOAAEarthquake:
+		return 298.82
+	case NOAAWind:
+		return 3.59
+	default:
+		panic("datasets: unknown event type")
+	}
+}
+
+// anchor is one component of a spatial mixture: events scatter around Pt
+// with the given standard deviation (miles) and relative weight.
+type anchor struct {
+	Pt          geo.Point
+	SpreadMiles float64
+	Weight      float64
+}
+
+// mixtures encodes each catalog's spatial model.
+var mixtures = map[EventType][]anchor{
+	FEMAHurricane: {
+		// Gulf coast, weighted heaviest.
+		{geo.Point{Lat: 29.8, Lon: -93.5}, 70, 3.0}, // TX/LA coast
+		{geo.Point{Lat: 30.2, Lon: -89.5}, 60, 3.0}, // MS/AL coast
+		{geo.Point{Lat: 28.0, Lon: -82.5}, 80, 2.5}, // FL west
+		{geo.Point{Lat: 26.5, Lon: -80.2}, 70, 2.0}, // FL east
+		// Atlantic seaboard.
+		{geo.Point{Lat: 33.0, Lon: -79.5}, 70, 1.5}, // SC
+		{geo.Point{Lat: 35.2, Lon: -76.5}, 70, 1.5}, // NC Outer Banks
+		{geo.Point{Lat: 38.5, Lon: -75.5}, 80, 0.8}, // DelMarVa
+		{geo.Point{Lat: 41.0, Lon: -72.0}, 80, 0.6}, // Long Island / New England
+	},
+	FEMATornado: {
+		{geo.Point{Lat: 35.4, Lon: -97.5}, 160, 3.0},  // central OK
+		{geo.Point{Lat: 37.6, Lon: -97.3}, 150, 2.5},  // KS
+		{geo.Point{Lat: 33.6, Lon: -101.8}, 150, 1.5}, // TX panhandle
+		{geo.Point{Lat: 41.0, Lon: -96.5}, 160, 1.5},  // NE/IA
+		{geo.Point{Lat: 38.8, Lon: -92.5}, 160, 1.5},  // MO
+		{geo.Point{Lat: 34.5, Lon: -90.0}, 150, 2.0},  // Dixie alley (MS/AR)
+		{geo.Point{Lat: 33.3, Lon: -86.8}, 140, 1.5},  // AL
+		{geo.Point{Lat: 40.0, Lon: -89.0}, 160, 1.0},  // IL/IN
+	},
+	FEMAStorm: {
+		{geo.Point{Lat: 39.0, Lon: -94.5}, 260, 2.5},  // central plains
+		{geo.Point{Lat: 41.5, Lon: -88.0}, 240, 2.0},  // upper midwest
+		{geo.Point{Lat: 35.0, Lon: -90.0}, 240, 2.0},  // mid-south
+		{geo.Point{Lat: 40.5, Lon: -77.5}, 220, 1.5},  // PA / mid-Atlantic
+		{geo.Point{Lat: 33.0, Lon: -84.5}, 220, 1.5},  // GA / southeast
+		{geo.Point{Lat: 30.5, Lon: -95.5}, 240, 1.5},  // TX
+		{geo.Point{Lat: 43.5, Lon: -93.0}, 240, 1.2},  // MN/IA
+		{geo.Point{Lat: 44.0, Lon: -71.5}, 200, 0.8},  // New England
+		{geo.Point{Lat: 39.0, Lon: -105.0}, 220, 0.5}, // CO front range
+	},
+	NOAAEarthquake: {
+		{geo.Point{Lat: 34.1, Lon: -118.2}, 70, 3.0},  // southern CA
+		{geo.Point{Lat: 37.5, Lon: -122.0}, 60, 2.5},  // Bay Area
+		{geo.Point{Lat: 40.5, Lon: -124.2}, 100, 1.2}, // Cape Mendocino
+		{geo.Point{Lat: 47.5, Lon: -122.3}, 140, 1.0}, // Puget Sound
+		{geo.Point{Lat: 44.0, Lon: -115.0}, 200, 0.5}, // intermountain
+		{geo.Point{Lat: 36.5, Lon: -89.5}, 110, 0.8},  // New Madrid
+		{geo.Point{Lat: 35.3, Lon: -97.5}, 130, 0.5},  // OK induced
+		{geo.Point{Lat: 38.5, Lon: -112.5}, 180, 0.5}, // UT/NV
+	},
+	NOAAWind: {
+		{geo.Point{Lat: 39.5, Lon: -95.0}, 320, 2.5},  // plains
+		{geo.Point{Lat: 41.5, Lon: -86.0}, 300, 2.5},  // Great Lakes
+		{geo.Point{Lat: 36.0, Lon: -88.0}, 300, 2.2},  // mid-south
+		{geo.Point{Lat: 40.0, Lon: -78.0}, 280, 2.0},  // Appalachians / mid-Atlantic
+		{geo.Point{Lat: 33.5, Lon: -86.0}, 280, 1.8},  // deep south
+		{geo.Point{Lat: 31.5, Lon: -97.0}, 300, 1.5},  // TX
+		{geo.Point{Lat: 44.5, Lon: -93.5}, 280, 1.3},  // upper midwest
+		{geo.Point{Lat: 42.5, Lon: -73.5}, 240, 1.0},  // northeast
+		{geo.Point{Lat: 39.0, Lon: -104.5}, 240, 0.6}, // front range
+	},
+}
+
+// clusterScale gives the second sampling level for catalogs whose real-world
+// records cluster at fine scales within a broad climatological envelope:
+// NOAA wind damage reports concentrate inside individual convective cells,
+// and FEMA storm declarations cluster by weather system. Events first draw a
+// cluster center from the type's anchor mixture, then scatter around it at
+// this radius (miles). Zero means single-level sampling. The paper's
+// cross-validated bandwidths (Table 1: wind 3.59 mi, storm 24.38 mi) reflect
+// exactly this structure — the CV bandwidth tracks the finest predictive
+// scale in the data.
+var clusterScale = map[EventType]float64{
+	NOAAWind:  3.5,
+	FEMAStorm: 18,
+}
+
+// GenerateEvents draws count events of the given type from its spatial
+// mixture, rejecting points outside the continental US box. Types with a
+// cluster scale sample in two levels: cluster centers from the mixture,
+// then events tightly around the centers. Pass count <= 0 to use the
+// paper's catalog size. Generation is deterministic for a given
+// (type, count, seed).
+func GenerateEvents(t EventType, count int, seed uint64) []geo.Point {
+	if count <= 0 {
+		count = t.PaperCount()
+	}
+	mix, ok := mixtures[t]
+	if !ok {
+		panic("datasets: unknown event type")
+	}
+	weights := make([]float64, len(mix))
+	for i, a := range mix {
+		weights[i] = a.Weight
+	}
+	rng := stats.NewRNG(seedFor(fmt.Sprintf("events/%d", t)) ^ seed)
+
+	sampleMixture := func() geo.Point {
+		for {
+			a := mix[rng.Choice(weights)]
+			spreadDeg := a.SpreadMiles / 69.0
+			p := geo.Point{
+				Lat: a.Pt.Lat + rng.Norm()*spreadDeg,
+				Lon: a.Pt.Lon + rng.Norm()*spreadDeg/0.78,
+			}
+			if geo.ContinentalUS.Contains(p) {
+				return p
+			}
+		}
+	}
+
+	out := make([]geo.Point, 0, count)
+	cluster := clusterScale[t]
+	if cluster <= 0 {
+		for len(out) < count {
+			out = append(out, sampleMixture())
+		}
+		return out
+	}
+
+	// Two-level sampling: ~25 events per cluster on average, capped so
+	// that even subsampled slices of huge catalogs (bandwidth CV draws at
+	// most a few thousand events) still see several events per cluster.
+	nClusters := count / 25
+	if nClusters < 20 {
+		nClusters = 20
+	}
+	if nClusters > 500 {
+		nClusters = 500
+	}
+	centers := make([]geo.Point, nClusters)
+	for i := range centers {
+		centers[i] = sampleMixture()
+	}
+	spreadDeg := cluster / 69.0
+	for len(out) < count {
+		c := centers[rng.Intn(nClusters)]
+		p := geo.Point{
+			Lat: c.Lat + rng.Norm()*spreadDeg,
+			Lon: c.Lon + rng.Norm()*spreadDeg/0.78,
+		}
+		if !geo.ContinentalUS.Contains(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+// Package datasets embeds and synthesizes every data set the paper's
+// evaluation consumes: a gazetteer of continental-US cities, the 23 ISP
+// topologies (7 Tier-1 + 16 regional), the AS-level peering mesh, synthetic
+// census blocks, synthetic FEMA/NOAA disaster catalogs, and best-track data
+// for Hurricanes Irene, Katrina, and Sandy. The paper's originals (Topology
+// Zoo / Internet Atlas maps, US Census data, FEMA/NOAA archives, NHC
+// advisories) are external bulk data; DESIGN.md documents how each synthetic
+// equivalent preserves the behaviour the experiments depend on. All
+// generation is deterministic given a seed.
+package datasets
+
+import (
+	"sort"
+
+	"riskroute/internal/geo"
+)
+
+// City is one gazetteer entry: a real continental-US city with approximate
+// coordinates and a rough population weight (thousands of residents; used
+// only for relative density, matching the role of census counts in the
+// paper).
+type City struct {
+	Name       string
+	State      string
+	Lat, Lon   float64
+	Population float64 // thousands
+}
+
+// Location returns the city's coordinates.
+func (c City) Location() geo.Point { return geo.Point{Lat: c.Lat, Lon: c.Lon} }
+
+// Cities is the embedded gazetteer. Coordinates are approximate (city
+// centers to ~0.1°), which matches the PoP-level geolocation granularity of
+// the paper's topology data.
+var Cities = []City{
+	// Northeast
+	{"New York", "NY", 40.71, -74.01, 8400},
+	{"Buffalo", "NY", 42.89, -78.88, 278},
+	{"Rochester", "NY", 43.16, -77.61, 211},
+	{"Syracuse", "NY", 43.05, -76.15, 148},
+	{"Albany", "NY", 42.65, -73.75, 99},
+	{"White Plains", "NY", 41.03, -73.77, 58},
+	{"Binghamton", "NY", 42.10, -75.92, 47},
+	{"Boston", "MA", 42.36, -71.06, 685},
+	{"Worcester", "MA", 42.26, -71.80, 185},
+	{"Springfield", "MA", 42.10, -72.59, 155},
+	{"Providence", "RI", 41.82, -71.41, 180},
+	{"Hartford", "CT", 41.77, -72.67, 123},
+	{"New Haven", "CT", 41.31, -72.92, 130},
+	{"Stamford", "CT", 41.05, -73.54, 130},
+	{"Portland ME", "ME", 43.66, -70.26, 67},
+	{"Bangor", "ME", 44.80, -68.77, 32},
+	{"Manchester", "NH", 42.99, -71.46, 112},
+	{"Burlington", "VT", 44.48, -73.21, 43},
+	{"Newark", "NJ", 40.74, -74.17, 282},
+	{"Jersey City", "NJ", 40.73, -74.08, 262},
+	{"Trenton", "NJ", 40.22, -74.76, 84},
+	{"Atlantic City", "NJ", 39.36, -74.42, 38},
+	{"Philadelphia", "PA", 39.95, -75.17, 1580},
+	{"Pittsburgh", "PA", 40.44, -79.99, 303},
+	{"Harrisburg", "PA", 40.27, -76.88, 49},
+	{"Allentown", "PA", 40.60, -75.49, 121},
+	{"Scranton", "PA", 41.41, -75.66, 77},
+	{"Erie", "PA", 42.13, -80.09, 96},
+
+	// Mid-Atlantic / Southeast coast
+	{"Baltimore", "MD", 39.29, -76.61, 586},
+	{"Silver Spring", "MD", 39.00, -77.03, 81},
+	{"Laurel", "MD", 39.10, -76.85, 26},
+	{"Washington", "DC", 38.91, -77.04, 705},
+	{"Arlington", "VA", 38.88, -77.10, 236},
+	{"Ashburn", "VA", 39.04, -77.49, 44},
+	{"Richmond", "VA", 37.54, -77.44, 230},
+	{"Norfolk", "VA", 36.85, -76.29, 245},
+	{"Roanoke", "VA", 37.27, -79.94, 100},
+	{"Charleston WV", "WV", 38.35, -81.63, 47},
+	{"Wilmington DE", "DE", 39.75, -75.55, 71},
+	{"Dover", "DE", 39.16, -75.52, 38},
+	{"Charlotte", "NC", 35.23, -80.84, 885},
+	{"Raleigh", "NC", 35.78, -78.64, 470},
+	{"Durham", "NC", 35.99, -78.90, 280},
+	{"Greensboro", "NC", 36.07, -79.79, 296},
+	{"Wilmington NC", "NC", 34.23, -77.94, 123},
+	{"Asheville", "NC", 35.60, -82.55, 93},
+	{"Columbia", "SC", 34.00, -81.03, 133},
+	{"Charleston SC", "SC", 32.78, -79.93, 150},
+	{"Greenville SC", "SC", 34.85, -82.40, 70},
+	{"Myrtle Beach", "SC", 33.69, -78.89, 35},
+
+	// Southeast
+	{"Atlanta", "GA", 33.75, -84.39, 498},
+	{"Savannah", "GA", 32.08, -81.09, 147},
+	{"Augusta", "GA", 33.47, -81.97, 197},
+	{"Macon", "GA", 32.84, -83.63, 153},
+	{"Columbus GA", "GA", 32.46, -84.99, 206},
+	{"Jacksonville", "FL", 30.33, -81.66, 911},
+	{"Miami", "FL", 25.76, -80.19, 467},
+	{"Tampa", "FL", 27.95, -82.46, 399},
+	{"Orlando", "FL", 28.54, -81.38, 287},
+	{"Tallahassee", "FL", 30.44, -84.28, 194},
+	{"Pensacola", "FL", 30.42, -87.22, 54},
+	{"Fort Lauderdale", "FL", 26.12, -80.14, 182},
+	{"West Palm Beach", "FL", 26.71, -80.05, 111},
+	{"Fort Myers", "FL", 26.64, -81.87, 87},
+	{"Gainesville", "FL", 29.65, -82.32, 134},
+	{"Daytona Beach", "FL", 29.21, -81.02, 69},
+	{"Birmingham", "AL", 33.52, -86.80, 209},
+	{"Montgomery", "AL", 32.37, -86.30, 199},
+	{"Mobile", "AL", 30.69, -88.04, 189},
+	{"Huntsville", "AL", 34.73, -86.59, 200},
+	{"Tuscaloosa", "AL", 33.21, -87.57, 101},
+	{"Dothan", "AL", 31.22, -85.39, 71},
+
+	// Gulf / Mississippi valley
+	{"Jackson MS", "MS", 32.30, -90.18, 160},
+	{"Gulfport", "MS", 30.37, -89.09, 72},
+	{"Biloxi", "MS", 30.40, -88.89, 49},
+	{"Hattiesburg", "MS", 31.33, -89.29, 46},
+	{"Meridian", "MS", 32.36, -88.70, 37},
+	{"Tupelo", "MS", 34.26, -88.70, 38},
+	{"Greenville MS", "MS", 33.41, -91.06, 30},
+	{"Oxford MS", "MS", 34.37, -89.52, 28},
+	{"Starkville", "MS", 33.45, -88.82, 25},
+	{"Vicksburg", "MS", 32.35, -90.88, 22},
+	{"Natchez", "MS", 31.56, -91.40, 15},
+	{"McComb", "MS", 31.24, -90.45, 13},
+	{"Columbus MS", "MS", 33.50, -88.43, 24},
+	{"New Orleans", "LA", 29.95, -90.07, 390},
+	{"Baton Rouge", "LA", 30.45, -91.15, 227},
+	{"Shreveport", "LA", 32.53, -93.75, 188},
+	{"Lafayette LA", "LA", 30.22, -92.02, 126},
+	{"Lake Charles", "LA", 30.23, -93.22, 78},
+	{"Monroe LA", "LA", 32.51, -92.12, 48},
+	{"Alexandria LA", "LA", 31.31, -92.45, 46},
+	{"Houma", "LA", 29.60, -90.72, 33},
+
+	// Tennessee / Kentucky
+	{"Memphis", "TN", 35.15, -90.05, 651},
+	{"Nashville", "TN", 36.16, -86.78, 689},
+	{"Knoxville", "TN", 35.96, -83.92, 187},
+	{"Chattanooga", "TN", 35.05, -85.31, 182},
+	{"Jackson TN", "TN", 35.61, -88.81, 68},
+	{"Louisville", "KY", 38.25, -85.76, 617},
+	{"Lexington", "KY", 38.04, -84.50, 323},
+	{"Bowling Green", "KY", 36.99, -86.44, 72},
+
+	// Midwest
+	{"Chicago", "IL", 41.88, -87.63, 2700},
+	{"Springfield IL", "IL", 39.78, -89.65, 114},
+	{"Peoria", "IL", 40.69, -89.59, 111},
+	{"Rockford", "IL", 42.27, -89.09, 146},
+	{"Champaign", "IL", 40.12, -88.24, 88},
+	{"Indianapolis", "IN", 39.77, -86.16, 876},
+	{"Fort Wayne", "IN", 41.08, -85.14, 270},
+	{"South Bend", "IN", 41.68, -86.25, 102},
+	{"Evansville", "IN", 37.97, -87.57, 118},
+	{"Detroit", "MI", 42.33, -83.05, 670},
+	{"Grand Rapids", "MI", 42.96, -85.66, 201},
+	{"Lansing", "MI", 42.73, -84.56, 118},
+	{"Flint", "MI", 43.01, -83.69, 95},
+	{"Ann Arbor", "MI", 42.28, -83.74, 123},
+	{"Kalamazoo", "MI", 42.29, -85.59, 76},
+	{"Columbus OH", "OH", 39.96, -83.00, 906},
+	{"Cleveland", "OH", 41.50, -81.69, 372},
+	{"Cincinnati", "OH", 39.10, -84.51, 309},
+	{"Toledo", "OH", 41.65, -83.54, 270},
+	{"Dayton", "OH", 39.76, -84.19, 137},
+	{"Akron", "OH", 41.08, -81.52, 190},
+	{"Youngstown", "OH", 41.10, -80.65, 60},
+	{"Milwaukee", "WI", 43.04, -87.91, 577},
+	{"Madison", "WI", 43.07, -89.40, 270},
+	{"Green Bay", "WI", 44.51, -88.01, 107},
+	{"Eau Claire", "WI", 44.81, -91.50, 69},
+	{"La Crosse", "WI", 43.80, -91.24, 52},
+	{"Wausau", "WI", 44.96, -89.63, 39},
+	{"Appleton", "WI", 44.26, -88.41, 75},
+	{"Minneapolis", "MN", 44.98, -93.27, 430},
+	{"St. Paul", "MN", 44.95, -93.09, 312},
+	{"Duluth", "MN", 46.79, -92.10, 86},
+	{"Rochester MN", "MN", 44.02, -92.47, 121},
+	{"St. Cloud", "MN", 45.56, -94.16, 69},
+
+	// Plains
+	{"St. Louis", "MO", 38.63, -90.20, 300},
+	{"Kansas City", "MO", 39.10, -94.58, 508},
+	{"Springfield MO", "MO", 37.21, -93.29, 169},
+	{"Columbia MO", "MO", 38.95, -92.33, 126},
+	{"Jefferson City", "MO", 38.58, -92.17, 43},
+	{"Joplin", "MO", 37.08, -94.51, 53},
+	{"St. Joseph", "MO", 39.77, -94.85, 72},
+	{"Cape Girardeau", "MO", 37.31, -89.52, 41},
+	{"Kirksville", "MO", 40.19, -92.58, 18},
+	{"Rolla", "MO", 37.95, -91.77, 20},
+	{"Wichita", "KS", 37.69, -97.34, 390},
+	{"Topeka", "KS", 39.05, -95.68, 125},
+	{"Overland Park", "KS", 38.98, -94.67, 197},
+	{"Salina", "KS", 38.84, -97.61, 47},
+	{"Omaha", "NE", 41.26, -95.93, 487},
+	{"Lincoln", "NE", 40.81, -96.70, 295},
+	{"Grand Island", "NE", 40.93, -98.34, 53},
+	{"Des Moines", "IA", 41.59, -93.62, 217},
+	{"Cedar Rapids", "IA", 41.98, -91.67, 137},
+	{"Davenport", "IA", 41.52, -90.58, 101},
+	{"Sioux City", "IA", 42.50, -96.40, 85},
+	{"Iowa City", "IA", 41.66, -91.53, 76},
+	{"Fargo", "ND", 46.88, -96.79, 126},
+	{"Bismarck", "ND", 46.81, -100.78, 74},
+	{"Sioux Falls", "SD", 43.54, -96.73, 192},
+	{"Rapid City", "SD", 44.08, -103.23, 77},
+
+	// South-central
+	{"Oklahoma City", "OK", 35.47, -97.52, 695},
+	{"Tulsa", "OK", 36.15, -95.99, 413},
+	{"Lawton", "OK", 34.60, -98.40, 93},
+	{"Little Rock", "AR", 34.75, -92.29, 202},
+	{"Fort Smith", "AR", 35.39, -94.40, 89},
+	{"Fayetteville AR", "AR", 36.06, -94.16, 93},
+	{"Jonesboro", "AR", 35.84, -90.70, 78},
+	{"Texarkana", "AR", 33.44, -94.04, 30},
+
+	// Texas
+	{"Houston", "TX", 29.76, -95.37, 2320},
+	{"Dallas", "TX", 32.78, -96.80, 1345},
+	{"Fort Worth", "TX", 32.76, -97.33, 918},
+	{"San Antonio", "TX", 29.42, -98.49, 1547},
+	{"Austin", "TX", 30.27, -97.74, 978},
+	{"El Paso", "TX", 31.76, -106.49, 682},
+	{"Corpus Christi", "TX", 27.80, -97.40, 326},
+	{"Laredo", "TX", 27.51, -99.51, 262},
+	{"Lubbock", "TX", 33.58, -101.86, 258},
+	{"Amarillo", "TX", 35.19, -101.85, 199},
+	{"Abilene TX", "TX", 32.45, -99.73, 124},
+	{"Waco", "TX", 31.55, -97.15, 139},
+	{"Beaumont", "TX", 30.08, -94.13, 118},
+	{"Brownsville", "TX", 25.90, -97.50, 183},
+	{"McAllen", "TX", 26.20, -98.23, 143},
+	{"Midland", "TX", 32.00, -102.08, 146},
+	{"Odessa", "TX", 31.85, -102.37, 123},
+	{"San Angelo", "TX", 31.46, -100.44, 101},
+	{"Tyler", "TX", 32.35, -95.30, 106},
+	{"Wichita Falls", "TX", 33.91, -98.49, 104},
+	{"College Station", "TX", 30.63, -96.33, 120},
+	{"Killeen", "TX", 31.12, -97.73, 153},
+	{"Longview", "TX", 32.50, -94.74, 82},
+	{"Plano", "TX", 33.02, -96.70, 288},
+	{"Denton", "TX", 33.21, -97.13, 141},
+	{"Galveston", "TX", 29.30, -94.80, 50},
+
+	// Mountain West
+	{"Denver", "CO", 39.74, -104.99, 716},
+	{"Colorado Springs", "CO", 38.83, -104.82, 478},
+	{"Fort Collins", "CO", 40.59, -105.08, 170},
+	{"Pueblo", "CO", 38.25, -104.61, 112},
+	{"Grand Junction", "CO", 39.06, -108.55, 65},
+	{"Salt Lake City", "UT", 40.76, -111.89, 200},
+	{"Provo", "UT", 40.23, -111.66, 117},
+	{"Ogden", "UT", 41.22, -111.97, 87},
+	{"Boise", "ID", 43.62, -116.21, 229},
+	{"Idaho Falls", "ID", 43.49, -112.04, 64},
+	{"Billings", "MT", 45.78, -108.50, 110},
+	{"Missoula", "MT", 46.87, -113.99, 75},
+	{"Helena", "MT", 46.59, -112.04, 33},
+	{"Cheyenne", "WY", 41.14, -104.82, 64},
+	{"Casper", "WY", 42.87, -106.31, 58},
+	{"Albuquerque", "NM", 35.08, -106.65, 560},
+	{"Santa Fe", "NM", 35.69, -105.94, 84},
+	{"Las Cruces", "NM", 32.32, -106.76, 103},
+	{"Phoenix", "AZ", 33.45, -112.07, 1680},
+	{"Tucson", "AZ", 32.22, -110.97, 545},
+	{"Flagstaff", "AZ", 35.20, -111.65, 76},
+	{"Mesa", "AZ", 33.42, -111.83, 518},
+	{"Yuma", "AZ", 32.69, -114.63, 97},
+	{"Las Vegas", "NV", 36.17, -115.14, 650},
+	{"Reno", "NV", 39.53, -119.81, 255},
+	{"Carson City", "NV", 39.16, -119.77, 56},
+
+	// West coast
+	{"Los Angeles", "CA", 34.05, -118.24, 3980},
+	{"San Diego", "CA", 32.72, -117.16, 1425},
+	{"San Francisco", "CA", 37.77, -122.42, 880},
+	{"San Jose", "CA", 37.34, -121.89, 1030},
+	{"Sacramento", "CA", 38.58, -121.49, 513},
+	{"Fresno", "CA", 36.74, -119.79, 542},
+	{"Oakland", "CA", 37.80, -122.27, 433},
+	{"Bakersfield", "CA", 35.37, -119.02, 384},
+	{"Anaheim", "CA", 33.84, -117.91, 350},
+	{"Riverside", "CA", 33.95, -117.40, 331},
+	{"Stockton", "CA", 37.96, -121.29, 312},
+	{"Santa Barbara", "CA", 34.42, -119.70, 91},
+	{"Palo Alto", "CA", 37.44, -122.14, 66},
+	{"San Luis Obispo", "CA", 35.28, -120.66, 47},
+	{"Eureka", "CA", 40.80, -124.16, 27},
+	{"Redding", "CA", 40.59, -122.39, 92},
+	{"Chico", "CA", 39.73, -121.84, 94},
+	{"Monterey", "CA", 36.60, -121.89, 28},
+	{"Santa Rosa", "CA", 38.44, -122.71, 178},
+	{"Portland", "OR", 45.52, -122.68, 654},
+	{"Eugene", "OR", 44.05, -123.09, 172},
+	{"Salem OR", "OR", 44.94, -123.04, 174},
+	{"Medford", "OR", 42.33, -122.88, 83},
+	{"Bend", "OR", 44.06, -121.32, 100},
+	{"Seattle", "WA", 47.61, -122.33, 745},
+	{"Spokane", "WA", 47.66, -117.43, 222},
+	{"Tacoma", "WA", 47.25, -122.44, 217},
+	{"Vancouver WA", "WA", 45.64, -122.66, 184},
+	{"Yakima", "WA", 46.60, -120.51, 94},
+	{"Bellingham", "WA", 48.75, -122.48, 92},
+}
+
+// cityIndex maps city name to its slice index, built lazily.
+var cityIndex map[string]int
+
+func init() {
+	cityIndex = make(map[string]int, len(Cities))
+	for i, c := range Cities {
+		if _, dup := cityIndex[c.Name]; dup {
+			panic("datasets: duplicate gazetteer city " + c.Name)
+		}
+		cityIndex[c.Name] = i
+	}
+}
+
+// CityByName returns the gazetteer entry for name. It panics on unknown
+// names: every reference from an embedded topology must resolve, and a
+// failure here is a programming error in the embedded data.
+func CityByName(name string) City {
+	i, ok := cityIndex[name]
+	if !ok {
+		panic("datasets: unknown city " + name)
+	}
+	return Cities[i]
+}
+
+// HasCity reports whether name is in the gazetteer.
+func HasCity(name string) bool {
+	_, ok := cityIndex[name]
+	return ok
+}
+
+// CitiesInStates returns the gazetteer cities in the given states, sorted by
+// descending population (ties by name).
+func CitiesInStates(states ...string) []City {
+	want := make(map[string]bool, len(states))
+	for _, s := range states {
+		want[s] = true
+	}
+	var out []City
+	for _, c := range Cities {
+		if want[c.State] {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Population != out[j].Population {
+			return out[i].Population > out[j].Population
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

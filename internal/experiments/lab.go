@@ -1,0 +1,223 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7). Each experiment is a function on a Lab — the
+// shared world of 23 networks, synthetic census, and fitted hazard model —
+// returning a structured result that the cmd/experiments binary renders,
+// bench_test.go benchmarks, and EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"riskroute/internal/core"
+	"riskroute/internal/datasets"
+	"riskroute/internal/geo"
+	"riskroute/internal/hazard"
+	"riskroute/internal/population"
+	"riskroute/internal/risk"
+	"riskroute/internal/topology"
+)
+
+// Config scales the experiment world. The zero value reproduces the paper's
+// data sizes; tests shrink everything for speed.
+type Config struct {
+	// CensusBlocks is the synthetic census size (default 20,000; the
+	// paper's census has 215,932 blocks — see DESIGN.md).
+	CensusBlocks int
+	// EventScale multiplies each disaster catalog's paper size (default 1.0).
+	EventScale float64
+	// MaxEventsPerCatalog caps any single catalog (default 40,000: the NOAA
+	// wind catalog's 143,847 events add cost without changing the risk
+	// surface's shape at PoP granularity).
+	MaxEventsPerCatalog int
+	// CellMiles is the hazard raster resolution (default 20).
+	CellMiles float64
+	// AlphaBuckets configures the routing engines (default 16).
+	AlphaBuckets int
+	// ReplayStride evaluates every k-th advisory in the disaster case
+	// studies (default 5, giving 12-14 points per storm — the granularity
+	// of the paper's Figures 12 and 13).
+	ReplayStride int
+	// CVCandidates is the size of Table 1's bandwidth search grid
+	// (default 18 log-spaced values in [2, 600] miles).
+	CVCandidates int
+	// CVMaxEvents caps the per-catalog sample used during Table 1's
+	// cross-validation (default 2500).
+	CVMaxEvents int
+	// Seed drives all synthetic generation (default 1).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CensusBlocks == 0 {
+		c.CensusBlocks = 20000
+	}
+	if c.EventScale == 0 {
+		c.EventScale = 1.0
+	}
+	if c.MaxEventsPerCatalog == 0 {
+		c.MaxEventsPerCatalog = 40000
+	}
+	if c.CellMiles == 0 {
+		c.CellMiles = 20
+	}
+	if c.AlphaBuckets == 0 {
+		c.AlphaBuckets = 16
+	}
+	if c.ReplayStride == 0 {
+		c.ReplayStride = 5
+	}
+	if c.CVCandidates == 0 {
+		c.CVCandidates = 18
+	}
+	if c.CVMaxEvents == 0 {
+		c.CVMaxEvents = 2500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Lab is the shared experimental world.
+type Lab struct {
+	Cfg      Config
+	Networks []*topology.Network // all 23, Tier-1 first
+	Tier1    []*topology.Network
+	Regional []*topology.Network
+	Census   *population.Census
+	Model    *hazard.Model
+
+	mu          sync.Mutex
+	assignments map[string]*population.Assignment
+	popRisks    map[string][]float64
+}
+
+// NewLab generates the world: the 23 networks, the synthetic census, the
+// five disaster catalogs, and the fitted hazard model (using the paper's
+// Table 1 bandwidths; Table1 re-runs the cross-validation itself).
+func NewLab(cfg Config) (*Lab, error) {
+	cfg = cfg.withDefaults()
+	nets := datasets.BuildNetworks()
+
+	lab := &Lab{
+		Cfg:         cfg,
+		Networks:    nets,
+		Census:      datasets.GenerateCensus(datasets.CensusConfig{Blocks: cfg.CensusBlocks, Seed: cfg.Seed}),
+		assignments: make(map[string]*population.Assignment),
+		popRisks:    make(map[string][]float64),
+	}
+	for _, n := range nets {
+		switch n.Tier {
+		case topology.Tier1:
+			lab.Tier1 = append(lab.Tier1, n)
+		case topology.Regional:
+			lab.Regional = append(lab.Regional, n)
+		}
+	}
+
+	var sources []hazard.Source
+	for _, et := range datasets.EventTypes {
+		sources = append(sources, hazard.Source{
+			Name:      et.String(),
+			Events:    lab.EventsFor(et),
+			Bandwidth: et.PaperBandwidth(),
+		})
+	}
+	model, err := hazard.Fit(sources, hazard.FitConfig{CellMiles: cfg.CellMiles})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hazard fit: %w", err)
+	}
+	lab.Model = model
+	return lab, nil
+}
+
+// EventsFor generates the (scaled, capped) synthetic catalog for one event
+// type, deterministically for the lab's seed.
+func (l *Lab) EventsFor(et datasets.EventType) []geo.Point {
+	count := int(float64(et.PaperCount()) * l.Cfg.EventScale)
+	if count < 50 {
+		count = 50
+	}
+	if count > l.Cfg.MaxEventsPerCatalog {
+		count = l.Cfg.MaxEventsPerCatalog
+	}
+	return datasets.GenerateEvents(et, count, l.Cfg.Seed)
+}
+
+// Assignment returns (and caches) the network's population assignment.
+func (l *Lab) Assignment(n *topology.Network) (*population.Assignment, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if a, ok := l.assignments[n.Name]; ok {
+		return a, nil
+	}
+	a, err := population.Assign(l.Census, n)
+	if err != nil {
+		return nil, err
+	}
+	l.assignments[n.Name] = a
+	return a, nil
+}
+
+// PoPRisks returns (and caches) the network's historical per-PoP risk.
+func (l *Lab) PoPRisks(n *topology.Network) []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.popRisks[n.Name]; ok {
+		return r
+	}
+	r := l.Model.PoPRisks(n)
+	l.popRisks[n.Name] = r
+	return r
+}
+
+// ContextFor assembles a risk context for a network under the given tuning
+// parameters, with optional per-PoP forecast risk.
+func (l *Lab) ContextFor(n *topology.Network, params risk.Params, forecast []float64) (*risk.Context, error) {
+	asg, err := l.Assignment(n)
+	if err != nil {
+		return nil, err
+	}
+	return &risk.Context{
+		Net:       n,
+		Hist:      l.PoPRisks(n),
+		Forecast:  forecast,
+		Fractions: asg.Fractions,
+		Params:    params,
+	}, nil
+}
+
+// EngineFor builds a routing engine for a network.
+func (l *Lab) EngineFor(n *topology.Network, params risk.Params, forecast []float64) (*core.Engine, error) {
+	ctx, err := l.ContextFor(n, params, forecast)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(ctx, core.Options{AlphaBuckets: l.Cfg.AlphaBuckets})
+}
+
+// NetworkByName finds a lab network by name, or nil.
+func (l *Lab) NetworkByName(name string) *topology.Network {
+	for _, n := range l.Networks {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// RegionalNames returns the 16 regional network names in build order.
+func (l *Lab) RegionalNames() []string {
+	out := make([]string, len(l.Regional))
+	for i, n := range l.Regional {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// newEngineForLab builds an engine with the lab's bucket configuration for
+// an already-assembled context.
+func newEngineForLab(l *Lab, ctx *risk.Context) (*core.Engine, error) {
+	return core.New(ctx, core.Options{AlphaBuckets: l.Cfg.AlphaBuckets})
+}

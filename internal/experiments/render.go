@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"riskroute/internal/report"
+)
+
+// RenderTable1 writes Table 1 as text.
+func RenderTable1(w io.Writer, r *Table1Result) error {
+	t := &report.Table{
+		Title:   "Table 1: Trained kernel density bandwidths (5-fold CV, KL divergence)",
+		Columns: []string{"Event Type", "Entries", "Fitted BW (mi)", "Paper BW (mi)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Event,
+			fmt.Sprintf("%d", row.Entries),
+			fmt.Sprintf("%.2f", row.FittedBandwidth),
+			fmt.Sprintf("%.2f", row.PaperBandwidth))
+	}
+	return t.Render(w)
+}
+
+// RenderTable2 writes Table 2 as text.
+func RenderTable2(w io.Writer, r *Table2Result) error {
+	t := &report.Table{
+		Title:   "Table 2: Tier-1 bit-risk vs bit-miles (RiskRoute vs shortest path)",
+		Columns: []string{"Network", "# PoPs", "rr (1e5)", "dr (1e5)", "rr (1e6)", "dr (1e6)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Network,
+			fmt.Sprintf("%d", row.PoPs),
+			fmt.Sprintf("%.3f", row.RiskReduction5),
+			fmt.Sprintf("%.3f", row.DistanceIncrease5),
+			fmt.Sprintf("%.3f", row.RiskReduction6),
+			fmt.Sprintf("%.3f", row.DistanceIncrease6))
+	}
+	return t.Render(w)
+}
+
+// RenderTable3 writes Table 3 as text.
+func RenderTable3(w io.Writer, r *Table3Result) error {
+	t := &report.Table{
+		Title:   "Table 3: Regional network characteristics vs RiskRoute performance (R²)",
+		Columns: []string{"Characteristic", "Risk Reduction R²", "Distance Increase R²"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Characteristic,
+			fmt.Sprintf("%.3f", row.RiskR2),
+			fmt.Sprintf("%.3f", row.DistanceR2))
+	}
+	return t.Render(w)
+}
+
+// RenderFigure1 writes Figure 1's inventory and maps.
+func RenderFigure1(w io.Writer, r *Figure1Result) error {
+	_, err := fmt.Fprintf(w,
+		"Figure 1: infrastructure maps\nTier-1: %d PoPs, %d links\n%s\nRegional: %d PoPs, %d links\n%s\n",
+		r.Tier1PoPs, r.Tier1Links, r.Tier1Map, r.RegionalPoPs, r.RegionalLinks, r.RegionalMap)
+	return err
+}
+
+// RenderFigure2 writes Figure 2's peering mesh.
+func RenderFigure2(w io.Writer, r *Figure2Result) error {
+	names := make([]string, 0, len(r.PeersByNetwork))
+	for n := range r.PeersByNetwork {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: AS connectivity (%d peering pairs)\n", len(r.Pairs))
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-14s -> %s\n", n, strings.Join(r.PeersByNetwork[n], ", "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFigure3 writes Figure 3's density map and assignment example.
+func RenderFigure3(w io.Writer, r *Figure3Result) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: population density (census raster)\n%s\n", r.DensityMap)
+	fmt.Fprintf(&b, "Nearest-neighbor assignment for %s (top PoP: %s)\n", r.ExampleNetwork, r.TopPoP)
+	names := make([]string, 0, len(r.Served))
+	for n := range r.Served {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.Served[names[i]] > r.Served[names[j]] })
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-16s %12.0f\n", n, r.Served[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFigure4 writes the five risk surfaces.
+func RenderFigure4(w io.Writer, r *Figure4Result) error {
+	names := make([]string, 0, len(r.Maps))
+	for n := range r.Maps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("Figure 4: bandwidth-optimized kernel density estimates\n")
+	for _, n := range names {
+		peak := r.PeakLocations[n]
+		fmt.Fprintf(&b, "\n%s (peak near %.1f, %.1f)\n%s", n, peak.Lat, peak.Lon, r.Maps[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFigure5 writes Irene's forecast snapshots.
+func RenderFigure5(w io.Writer, r *Figure5Result) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Figure 5: %s forecast wind fields", r.Storm),
+		Columns: []string{"Advisory", "Time", "Center", "Hurr. radius", "Trop. radius", "T1 PoPs (hurr)", "T1 PoPs (trop)"},
+	}
+	for _, s := range r.Snapshots {
+		t.AddRow(fmt.Sprintf("%d", s.AdvisoryNumber), s.Time, s.Center.String(),
+			fmt.Sprintf("%.0f mi", s.HurricaneRadiusMi),
+			fmt.Sprintf("%.0f mi", s.TropicalRadiusMi),
+			fmt.Sprintf("%d", s.Tier1PoPsInHurricane),
+			fmt.Sprintf("%d", s.Tier1PoPsInTropical))
+	}
+	return t.Render(w)
+}
+
+// RenderFigure6 writes the storms' final scopes.
+func RenderFigure6(w io.Writer, r *Figure6Result) error {
+	t := &report.Table{
+		Title:   "Figure 6: final geo-spatial scope (Tier-1 PoPs ever inside wind fields)",
+		Columns: []string{"Storm", "Advisories", "Hurricane-force PoPs", "Tropical+ PoPs"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Storm, fmt.Sprintf("%d", row.Advisories),
+			fmt.Sprintf("%d", row.HurricanePoPs), fmt.Sprintf("%d", row.TropicalPoPs))
+	}
+	return t.Render(w)
+}
+
+// RenderFigure7 writes the Houston→Boston route comparison.
+func RenderFigure7(w io.Writer, r *Figure7Result) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: %s routing %s -> %s\n", r.Network, r.From, r.To)
+	for _, route := range r.Routes {
+		fmt.Fprintf(&b, "\nλ_h = %.0e\n", route.LambdaH)
+		fmt.Fprintf(&b, "  shortest (%6.0f mi, %8.0f bit-risk mi): %s\n",
+			route.ShortestCost.Miles, route.ShortestCost.BitRiskMiles,
+			strings.Join(route.Shortest, " -> "))
+		fmt.Fprintf(&b, "  riskroute (%6.0f mi, %8.0f bit-risk mi): %s\n",
+			route.RiskCost.Miles, route.RiskCost.BitRiskMiles,
+			strings.Join(route.RiskRoute, " -> "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFigure8 writes the regional scatter.
+func RenderFigure8(w io.Writer, r *Figure8Result) error {
+	var b strings.Builder
+	b.WriteString("Figure 8: interdomain distance vs risk ratios (regional networks, λ_h=1e5)\n")
+	b.WriteString(r.Plot)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFigure9 writes one network's suggested links.
+func RenderFigure9(w io.Writer, r *Figure9Result) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Figure 9: best additional links for %s (candidate rule %.2f)", r.Network, r.CandidateRule),
+		Columns: []string{"#", "Link", "Bit-risk fraction"},
+	}
+	for i, l := range r.Links {
+		t.AddRow(fmt.Sprintf("%d", i+1), l.From+" -- "+l.To, fmt.Sprintf("%.4f", l.Fraction))
+	}
+	return t.Render(w)
+}
+
+// RenderFigure10 writes the decay series.
+func RenderFigure10(w io.Writer, r *Figure10Result) error {
+	names := make([]string, 0, len(r.Fractions))
+	for n := range r.Fractions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var series []report.Series
+	steps := make([]string, r.Steps)
+	for i := range steps {
+		steps[i] = fmt.Sprintf("%d", i+1)
+	}
+	for _, n := range names {
+		series = append(series, report.Series{Name: n, Values: r.Fractions[n]})
+	}
+	t := report.SeriesTable("Figure 10: fraction of original bit-risk miles vs added links",
+		"links", steps, series)
+	return t.Render(w)
+}
+
+// RenderFigure11 writes the peering suggestions.
+func RenderFigure11(w io.Writer, r *Figure11Result) error {
+	t := &report.Table{
+		Title:   "Figure 11: best additional peering per regional network",
+		Columns: []string{"Network", "Best peer", "Bit-risk fraction", "Shared cities"},
+	}
+	for _, s := range r.Suggestions {
+		t.AddRow(s.Network, s.BestPeer, fmt.Sprintf("%.4f", s.Fraction), fmt.Sprintf("%d", s.SharedCities))
+	}
+	return t.Render(w)
+}
+
+// RenderReplay writes a Figure 12/13 time series.
+func RenderReplay(w io.Writer, title string, r *ReplayResult) error {
+	steps := make([]string, len(r.Points))
+	series := make([]report.Series, len(r.Networks))
+	for i, n := range r.Networks {
+		series[i] = report.Series{Name: n, Values: make([]float64, len(r.Points))}
+	}
+	for pi, pt := range r.Points {
+		steps[pi] = pt.Label
+		for ni, n := range r.Networks {
+			series[ni].Values[pi] = pt.RiskReduction[n]
+		}
+	}
+	t := report.SeriesTable(fmt.Sprintf("%s (%s): risk reduction ratio per advisory", title, r.Storm),
+		"advisory", steps, series)
+	return t.Render(w)
+}

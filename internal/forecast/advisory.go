@@ -1,0 +1,217 @@
+// Package forecast implements the paper's forecasted outage risk pipeline
+// (Sections 4.4 and 5.3): National Hurricane Center public advisory text is
+// parsed — by the same kind of natural-language processing the paper
+// describes — into the storm's current center and wind-field radii, which
+// define the immediate outage risk o_f at each network PoP: ρ_h inside
+// hurricane-force winds, ρ_t inside tropical-storm-force winds (ρ_h > ρ_t;
+// the paper uses 100 and 50).
+//
+// Because the NHC archive is external bulk text, the package also contains
+// an advisory *generator* that renders the embedded best tracks
+// (internal/datasets) into the NHC prose format quoted in the paper; replays
+// always round-trip through text generation and parsing, exercising the NLP
+// path end to end.
+package forecast
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"riskroute/internal/geo"
+)
+
+// Advisory is one parsed (or to-be-rendered) public advisory.
+type Advisory struct {
+	Storm             string // e.g. "IRENE"
+	Number            int
+	Time              time.Time
+	Zone              string // local zone rendered in the bulletin, e.g. "EDT"
+	Center            geo.Point
+	MaxWindMPH        float64
+	HurricaneRadiusMi float64 // 0 when the storm has no hurricane-force winds
+	TropicalRadiusMi  float64
+	MovementDirDeg    float64
+	MovementSpeedMPH  float64
+}
+
+// Classification returns "HURRICANE" or "TROPICAL STORM" by the 74-mph
+// sustained-wind threshold.
+func (a *Advisory) Classification() string {
+	if a.MaxWindMPH >= 74 {
+		return "HURRICANE"
+	}
+	return "TROPICAL STORM"
+}
+
+// compass16 names the 16-point compass rose.
+var compass16 = []string{
+	"NORTH", "NORTH-NORTHEAST", "NORTHEAST", "EAST-NORTHEAST",
+	"EAST", "EAST-SOUTHEAST", "SOUTHEAST", "SOUTH-SOUTHEAST",
+	"SOUTH", "SOUTH-SOUTHWEST", "SOUTHWEST", "WEST-SOUTHWEST",
+	"WEST", "WEST-NORTHWEST", "NORTHWEST", "NORTH-NORTHWEST",
+}
+
+// CompassName converts a bearing in degrees to its 16-point compass name.
+func CompassName(deg float64) string {
+	for deg < 0 {
+		deg += 360
+	}
+	idx := int((deg+11.25)/22.5) % 16
+	return compass16[idx]
+}
+
+// zoneOffsets maps US time-zone abbreviations used in NHC bulletins to their
+// UTC offsets in hours.
+var zoneOffsets = map[string]int{
+	"EDT": -4, "EST": -5, "CDT": -5, "CST": -6,
+	"MDT": -6, "MST": -7, "PDT": -7, "PST": -8,
+}
+
+const milesPerKm = 0.621371
+
+// Text renders the advisory in the NHC public-advisory prose format the
+// paper's Section 4.4 quotes.
+func (a *Advisory) Text() string {
+	var b strings.Builder
+	loc := time.FixedZone(a.Zone, zoneOffsets[a.Zone]*3600)
+	local := a.Time.In(loc)
+
+	hhmm := local.Format("304 PM")
+	hhmm = strings.ToUpper(hhmm)
+	stamp := fmt.Sprintf("%s %s %s %s %02d %d",
+		hhmm, a.Zone,
+		strings.ToUpper(local.Format("Mon")),
+		strings.ToUpper(local.Format("Jan")),
+		local.Day(), local.Year())
+
+	fmt.Fprintf(&b, "BULLETIN\n")
+	fmt.Fprintf(&b, "%s %s ADVISORY NUMBER %d\n", a.Classification(), a.Storm, a.Number)
+	fmt.Fprintf(&b, "NWS NATIONAL HURRICANE CENTER MIAMI FL\n")
+	fmt.Fprintf(&b, "%s\n\n", stamp)
+
+	latHemi, lonHemi := "NORTH", "WEST"
+	lat, lon := a.Center.Lat, -a.Center.Lon
+	if lat < 0 {
+		lat, latHemi = -lat, "SOUTH"
+	}
+	if lon < 0 {
+		lon, lonHemi = -lon, "EAST"
+	}
+	fmt.Fprintf(&b, "...THE CENTER OF %s %s WAS LOCATED NEAR LATITUDE %.1f %s...LONGITUDE %.1f %s.\n",
+		a.Classification(), a.Storm, lat, latHemi, lon, lonHemi)
+	fmt.Fprintf(&b, "%s IS MOVING TOWARD THE %s NEAR %.0f MPH...%.0f KM/H.\n",
+		a.Storm, CompassName(a.MovementDirDeg), a.MovementSpeedMPH, a.MovementSpeedMPH/milesPerKm)
+	fmt.Fprintf(&b, "MAXIMUM SUSTAINED WINDS ARE NEAR %.0f MPH...%.0f KM/H...WITH HIGHER GUSTS.\n",
+		a.MaxWindMPH, a.MaxWindMPH/milesPerKm)
+	if a.HurricaneRadiusMi > 0 {
+		fmt.Fprintf(&b, "HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO %.0f MILES...%.0f KM...FROM THE CENTER...AND TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO %.0f MILES...%.0f KM...\n",
+			a.HurricaneRadiusMi, a.HurricaneRadiusMi/milesPerKm,
+			a.TropicalRadiusMi, a.TropicalRadiusMi/milesPerKm)
+	} else {
+		fmt.Fprintf(&b, "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO %.0f MILES...%.0f KM...FROM THE CENTER...\n",
+			a.TropicalRadiusMi, a.TropicalRadiusMi/milesPerKm)
+	}
+	return b.String()
+}
+
+var (
+	reHeader = regexp.MustCompile(`(?m)^(?:HURRICANE|TROPICAL STORM) (\S+) ADVISORY NUMBER\s+(\d+)`)
+	reStamp  = regexp.MustCompile(`(?m)^(\d{3,4}) (AM|PM) ([A-Z]{3}) ([A-Z]{3}) ([A-Z]{3}) (\d{1,2}) (\d{4})`)
+	reCenter = regexp.MustCompile(`LATITUDE ([\d.]+) (NORTH|SOUTH)\.\.\.LONGITUDE ([\d.]+) (WEST|EAST)`)
+	reMoving = regexp.MustCompile(`IS MOVING TOWARD THE ([A-Z-]+) NEAR ([\d.]+) MPH`)
+	reMaxW   = regexp.MustCompile(`MAXIMUM SUSTAINED WINDS ARE NEAR ([\d.]+) MPH`)
+	reHurr   = regexp.MustCompile(`HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO ([\d.]+) MILES`)
+	reTrop   = regexp.MustCompile(`TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO ([\d.]+) MILES`)
+)
+
+// ParseAdvisory extracts the storm state from NHC public-advisory text. It
+// requires the header, timestamp, center, and tropical-storm wind radius;
+// movement, maximum winds, and hurricane-force radius are optional (the
+// radius is absent below hurricane strength).
+func ParseAdvisory(text string) (*Advisory, error) {
+	a := &Advisory{}
+
+	if m := reHeader.FindStringSubmatch(text); m != nil {
+		a.Storm = m[1]
+		a.Number, _ = strconv.Atoi(m[2])
+	} else {
+		return nil, fmt.Errorf("forecast: advisory header not found")
+	}
+
+	m := reStamp.FindStringSubmatch(text)
+	if m == nil {
+		return nil, fmt.Errorf("forecast: advisory timestamp not found")
+	}
+	clock, _ := strconv.Atoi(m[1])
+	hour, minute := clock/100, clock%100
+	if m[2] == "PM" && hour != 12 {
+		hour += 12
+	}
+	if m[2] == "AM" && hour == 12 {
+		hour = 0
+	}
+	zone := m[3]
+	off, ok := zoneOffsets[zone]
+	if !ok {
+		return nil, fmt.Errorf("forecast: unknown time zone %q", zone)
+	}
+	monthName := strings.ToUpper(m[5][:1]) + strings.ToLower(m[5][1:])
+	month, err := time.Parse("Jan", monthName)
+	if err != nil {
+		return nil, fmt.Errorf("forecast: bad month %q", m[5])
+	}
+	day, _ := strconv.Atoi(m[6])
+	year, _ := strconv.Atoi(m[7])
+	loc := time.FixedZone(zone, off*3600)
+	a.Time = time.Date(year, month.Month(), day, hour, minute, 0, 0, loc).UTC()
+	a.Zone = zone
+
+	c := reCenter.FindStringSubmatch(text)
+	if c == nil {
+		return nil, fmt.Errorf("forecast: storm center not found")
+	}
+	lat, _ := strconv.ParseFloat(c[1], 64)
+	lon, _ := strconv.ParseFloat(c[3], 64)
+	if c[2] == "SOUTH" {
+		lat = -lat
+	}
+	if c[4] == "WEST" {
+		lon = -lon
+	}
+	a.Center = geo.Point{Lat: lat, Lon: lon}
+
+	if mv := reMoving.FindStringSubmatch(text); mv != nil {
+		a.MovementDirDeg = compassDegrees(mv[1])
+		a.MovementSpeedMPH, _ = strconv.ParseFloat(mv[2], 64)
+	}
+	if w := reMaxW.FindStringSubmatch(text); w != nil {
+		a.MaxWindMPH, _ = strconv.ParseFloat(w[1], 64)
+	}
+	if h := reHurr.FindStringSubmatch(text); h != nil {
+		a.HurricaneRadiusMi, _ = strconv.ParseFloat(h[1], 64)
+	}
+	t := reTrop.FindStringSubmatch(text)
+	if t == nil {
+		return nil, fmt.Errorf("forecast: tropical-storm wind radius not found")
+	}
+	a.TropicalRadiusMi, _ = strconv.ParseFloat(t[1], 64)
+
+	if a.TropicalRadiusMi < a.HurricaneRadiusMi {
+		return nil, fmt.Errorf("forecast: tropical radius %.0f < hurricane radius %.0f",
+			a.TropicalRadiusMi, a.HurricaneRadiusMi)
+	}
+	return a, nil
+}
+
+// compassDegrees inverts CompassName; unknown names return 0.
+func compassDegrees(name string) float64 {
+	for i, n := range compass16 {
+		if n == name {
+			return float64(i) * 22.5
+		}
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+package forecast
+
+import (
+	"strings"
+	"testing"
+
+	"riskroute/internal/datasets"
+)
+
+// FuzzParseAdvisory hammers the NLP parser with mutated bulletin text: it
+// must never panic, and on success it must return physically sane values.
+// Run with: go test -fuzz=FuzzParseAdvisory ./internal/forecast
+func FuzzParseAdvisory(f *testing.F) {
+	for _, track := range datasets.Hurricanes {
+		track := track
+		corpus := GenerateCorpus(&track)
+		f.Add(corpus[0])
+		f.Add(corpus[len(corpus)/2])
+		f.Add(corpus[len(corpus)-1])
+	}
+	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST.\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+	f.Add("")
+	f.Add("BULLETIN\nnonsense")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		a, err := ParseAdvisory(text)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		if a.TropicalRadiusMi < a.HurricaneRadiusMi {
+			t.Errorf("parsed advisory with tropical radius %v < hurricane radius %v",
+				a.TropicalRadiusMi, a.HurricaneRadiusMi)
+		}
+		if a.Storm == "" {
+			t.Error("parsed advisory with empty storm name")
+		}
+		if strings.ContainsAny(a.Storm, "\n\r") {
+			t.Error("storm name contains line breaks")
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGridCellRoundTrip(t *testing.T) {
+	g := NewGrid(ContinentalUS, 50, 100)
+	for row := 0; row < g.Rows; row += 7 {
+		for col := 0; col < g.Cols; col += 13 {
+			center := g.CellCenter(row, col)
+			r, c := g.Cell(center)
+			if r != row || c != col {
+				t.Errorf("Cell(CellCenter(%d,%d)) = (%d,%d)", row, col, r, c)
+			}
+		}
+	}
+}
+
+func TestGridClamping(t *testing.T) {
+	g := NewGrid(ContinentalUS, 10, 10)
+	r, c := g.Cell(Point{Lat: -89, Lon: -179})
+	if r != 0 || c != 0 {
+		t.Errorf("far-southwest point should clamp to (0,0), got (%d,%d)", r, c)
+	}
+	r, c = g.Cell(Point{Lat: 89, Lon: 179})
+	if r != g.Rows-1 || c != g.Cols-1 {
+		t.Errorf("far-northeast point should clamp to max cell, got (%d,%d)", r, c)
+	}
+}
+
+func TestGridIndexUnique(t *testing.T) {
+	g := NewGrid(ContinentalUS, 7, 9)
+	seen := make(map[int]bool)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			i := g.Index(r, c)
+			if i < 0 || i >= g.Size() {
+				t.Fatalf("index out of range: %d", i)
+			}
+			if seen[i] {
+				t.Fatalf("duplicate index %d at (%d,%d)", i, r, c)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != g.Size() {
+		t.Errorf("expected %d unique indices, got %d", g.Size(), len(seen))
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGrid(ContinentalUS, 0, 10) },
+		func() { NewGrid(ContinentalUS, 10, -1) },
+		func() { NewGrid(Bounds{MinLat: 10, MaxLat: 5, MinLon: 0, MaxLon: 1}, 4, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid grid")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func bruteNearest(points []Point, q Point) (int, float64) {
+	best, bestDist := -1, math.Inf(1)
+	for i, p := range points {
+		if d := Distance(q, p); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, bestDist
+}
+
+func TestPointIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randIn := func(b Bounds) Point {
+		return Point{
+			Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+			Lon: b.MinLon + rng.Float64()*(b.MaxLon-b.MinLon),
+		}
+	}
+	for _, n := range []int{1, 2, 17, 200} {
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = randIn(ContinentalUS)
+		}
+		idx := NewPointIndex(points)
+		if idx.Len() != n {
+			t.Fatalf("Len() = %d, want %d", idx.Len(), n)
+		}
+		for q := 0; q < 200; q++ {
+			// Query both inside and slightly outside the indexed region.
+			query := randIn(ContinentalUS.Expand(3))
+			gi, gd := idx.Nearest(query)
+			bi, bd := bruteNearest(points, query)
+			if gi != bi && math.Abs(gd-bd) > 1e-9 {
+				t.Errorf("n=%d query %v: index gave %d (%.4f mi), brute force %d (%.4f mi)",
+					n, query, gi, gd, bi, bd)
+			}
+		}
+	}
+}
+
+func TestPointIndexClusteredPoints(t *testing.T) {
+	// Dense cluster plus one remote point stresses the ring termination bound.
+	points := []Point{{40, -74}, {40.001, -74.001}, {40.002, -74.002}, {25, -120}}
+	idx := NewPointIndex(points)
+	gi, _ := idx.Nearest(Point{Lat: 26, Lon: -119})
+	if gi != 3 {
+		t.Errorf("remote query matched %d, want 3", gi)
+	}
+	gi, _ = idx.Nearest(Point{Lat: 40.0005, Lon: -74.0005})
+	bi, _ := bruteNearest(points, Point{Lat: 40.0005, Lon: -74.0005})
+	if gi != bi {
+		t.Errorf("cluster query matched %d, want %d", gi, bi)
+	}
+}
+
+func TestPointIndexEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPointIndex(nil) should panic")
+		}
+	}()
+	NewPointIndex(nil)
+}
+
+func BenchmarkDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Distance(nyc, la)
+	}
+}
+
+func BenchmarkPointIndexNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	points := make([]Point, 800)
+	for i := range points {
+		points[i] = Point{
+			Lat: ContinentalUS.MinLat + rng.Float64()*(ContinentalUS.MaxLat-ContinentalUS.MinLat),
+			Lon: ContinentalUS.MinLon + rng.Float64()*(ContinentalUS.MaxLon-ContinentalUS.MinLon),
+		}
+	}
+	idx := NewPointIndex(points)
+	queries := make([]Point, 1024)
+	for i := range queries {
+		queries[i] = Point{
+			Lat: ContinentalUS.MinLat + rng.Float64()*(ContinentalUS.MaxLat-ContinentalUS.MinLat),
+			Lon: ContinentalUS.MinLon + rng.Float64()*(ContinentalUS.MaxLon-ContinentalUS.MinLon),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Nearest(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"math"
+)
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// ShortestTree holds single-source shortest-path results: the distance to
+// every node and the predecessor of every node on its shortest path.
+type ShortestTree struct {
+	Source int
+	Dist   []float64 // Inf for unreachable nodes
+	Prev   []int32   // -1 for the source and unreachable nodes
+}
+
+// PathTo reconstructs the shortest path from the tree's source to target as
+// a node sequence including both endpoints. It returns nil if target is
+// unreachable. The source's path is [source].
+func (t *ShortestTree) PathTo(target int) []int {
+	if target < 0 || target >= len(t.Dist) || math.IsInf(t.Dist[target], 1) {
+		return nil
+	}
+	var rev []int
+	for v := target; v != -1; v = int(t.Prev[v]) {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Dijkstra computes single-source shortest paths from src using a binary
+// heap. It panics if src is out of range. Ties resolve to the first path
+// discovered, which is deterministic because adjacency lists preserve
+// insertion order.
+func (g *Graph) Dijkstra(src int) *ShortestTree {
+	if src < 0 || src >= g.n {
+		panic("graph: Dijkstra source out of range")
+	}
+	dist := make([]float64, g.n)
+	prev := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+
+	h := newHeap(g.n)
+	h.push(src, 0)
+	for h.len() > 0 {
+		u, d := h.pop()
+		if d > dist[u] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[u] {
+			v := int(e.to)
+			nd := d + e.weight
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = int32(u)
+				h.push(v, nd)
+			}
+		}
+	}
+	return &ShortestTree{Source: src, Dist: dist, Prev: prev}
+}
+
+// ShortestPath returns the minimum-weight path between u and v and its total
+// weight. It returns (nil, +Inf) if v is unreachable from u. Unlike a full
+// Dijkstra sweep, the search stops the moment v is settled — with
+// non-negative weights its distance is final then — which roughly halves the
+// work of typical point-to-point queries.
+func (g *Graph) ShortestPath(u, v int) ([]int, float64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic("graph: ShortestPath endpoints out of range")
+	}
+	dist := make([]float64, g.n)
+	prev := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[u] = 0
+	h := newHeap(g.n)
+	h.push(u, 0)
+	for h.len() > 0 {
+		node, d := h.pop()
+		if d > dist[node] {
+			continue
+		}
+		if node == v {
+			break // settled: final with non-negative weights
+		}
+		for _, e := range g.adj[node] {
+			to := int(e.to)
+			nd := d + e.weight
+			if nd < dist[to] {
+				dist[to] = nd
+				prev[to] = int32(node)
+				h.push(to, nd)
+			}
+		}
+	}
+	t := &ShortestTree{Source: u, Dist: dist, Prev: prev}
+	return t.PathTo(v), dist[v]
+}
+
+// AllPairs computes the full N×N shortest-path distance matrix by running
+// Dijkstra from every source. Row i holds distances from node i.
+func (g *Graph) AllPairs() [][]float64 {
+	out := make([][]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		out[i] = g.Dijkstra(i).Dist
+	}
+	return out
+}
+
+// PathWeight sums the graph's edge weights along the node sequence path,
+// using the cheapest parallel edge for each hop. It returns +Inf if any
+// consecutive pair is not connected by an edge, and 0 for paths with fewer
+// than two nodes.
+func (g *Graph) PathWeight(path []int) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		u, v := path[i-1], path[i]
+		best := Inf
+		for _, e := range g.adj[u] {
+			if int(e.to) == v && e.weight < best {
+				best = e.weight
+			}
+		}
+		if math.IsInf(best, 1) {
+			return Inf
+		}
+		total += best
+	}
+	return total
+}
+
+// heap is a minimal binary min-heap of (node, priority) pairs specialized
+// for Dijkstra. Duplicate pushes are allowed; stale pops are filtered by the
+// caller.
+type heap struct {
+	nodes []int32
+	prio  []float64
+}
+
+func newHeap(capacity int) *heap {
+	return &heap{
+		nodes: make([]int32, 0, capacity),
+		prio:  make([]float64, 0, capacity),
+	}
+}
+
+func (h *heap) len() int { return len(h.nodes) }
+
+func (h *heap) push(node int, p float64) {
+	h.nodes = append(h.nodes, int32(node))
+	h.prio = append(h.prio, p)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heap) pop() (int, float64) {
+	node, p := h.nodes[0], h.prio[0]
+	last := len(h.nodes) - 1
+	h.swap(0, last)
+	h.nodes = h.nodes[:last]
+	h.prio = h.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < last && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return int(node), p
+}
+
+func (h *heap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// KShortestPaths implements Yen's algorithm for the k shortest loopless
+// paths between src and dst. RiskRoute uses path diversity in two places
+// the paper sketches: candidate backup routes (Section 3's IP Fast Reroute
+// and MPLS fast-reroute integrations, and the BGP "add paths" option) and
+// SLA-constrained routing (Section 6.4), where the best bit-risk path is
+// chosen among the k geographically shortest.
+//
+// Paths are returned best-first with their total weights. Fewer than k
+// paths are returned when the graph doesn't contain k distinct loopless
+// paths. It panics on out-of-range endpoints and returns nil when dst is
+// unreachable. k must be positive.
+func (g *Graph) KShortestPaths(src, dst, k int) ([][]int, []float64) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		panic("graph: KShortestPaths endpoints out of range")
+	}
+	if k <= 0 {
+		panic("graph: KShortestPaths needs k >= 1")
+	}
+	first, w := g.ShortestPath(src, dst)
+	if first == nil {
+		return nil, nil
+	}
+	paths := [][]int{first}
+	weights := []float64{w}
+
+	var pool []yenCandidate
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Each node of the previous path (except the last) spawns a spur.
+		for spurIdx := 0; spurIdx < len(prev)-1; spurIdx++ {
+			spurNode := prev[spurIdx]
+			rootPath := prev[:spurIdx+1]
+
+			// Build a filtered graph: remove edges used by any accepted
+			// path sharing this root, and remove root nodes except the
+			// spur node to keep paths loopless.
+			banned := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p) > spurIdx && equalPrefix(p, rootPath) {
+					a, b := p[spurIdx], p[spurIdx+1]
+					banned[[2]int{a, b}] = true
+					banned[[2]int{b, a}] = true
+				}
+			}
+			removedNode := make(map[int]bool)
+			for _, v := range rootPath[:len(rootPath)-1] {
+				removedNode[v] = true
+			}
+
+			spurPath, _ := g.shortestPathFiltered(spurNode, dst, banned, removedNode)
+			if spurPath == nil {
+				continue
+			}
+			total := append(append([]int(nil), rootPath[:len(rootPath)-1]...), spurPath...)
+			totalWeight := g.PathWeight(total)
+			if math.IsInf(totalWeight, 1) {
+				continue
+			}
+			if !containsPath(pool, total) && !pathInList(paths, total) {
+				pool = append(pool, yenCandidate{path: total, weight: totalWeight})
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		sort.Slice(pool, func(i, j int) bool {
+			if pool[i].weight != pool[j].weight {
+				return pool[i].weight < pool[j].weight
+			}
+			return lessPath(pool[i].path, pool[j].path)
+		})
+		best := pool[0]
+		pool = pool[1:]
+		paths = append(paths, best.path)
+		weights = append(weights, best.weight)
+	}
+	return paths, weights
+}
+
+// shortestPathFiltered runs Dijkstra ignoring banned edges and removed
+// nodes.
+func (g *Graph) shortestPathFiltered(src, dst int, banned map[[2]int]bool, removed map[int]bool) ([]int, float64) {
+	if removed[src] || removed[dst] {
+		return nil, Inf
+	}
+	dist := make([]float64, g.n)
+	prev := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	h := newHeap(g.n)
+	h.push(src, 0)
+	for h.len() > 0 {
+		u, d := h.pop()
+		if d > dist[u] {
+			continue
+		}
+		if u == dst {
+			break
+		}
+		for _, e := range g.adj[u] {
+			v := int(e.to)
+			if removed[v] || banned[[2]int{u, v}] {
+				continue
+			}
+			nd := d + e.weight
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = int32(u)
+				h.push(v, nd)
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, Inf
+	}
+	var rev []int
+	for v := dst; v != -1; v = int(prev[v]) {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[dst]
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessPath(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// yenCandidate is a spur path awaiting promotion in Yen's algorithm.
+type yenCandidate struct {
+	path   []int
+	weight float64
+}
+
+func containsPath(pool []yenCandidate, p []int) bool {
+	for _, c := range pool {
+		if samePath(c.path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func pathInList(paths [][]int, p []int) bool {
+	for _, q := range paths {
+		if samePath(q, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"riskroute/internal/stats"
+)
+
+func TestKShortestPathsDiamond(t *testing.T) {
+	// Two disjoint routes 0->3: via 1 (cost 3) and via 2 (cost 5).
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 3)
+	paths, weights := g.KShortestPaths(0, 3, 5)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths: %v", len(paths), paths)
+	}
+	if weights[0] != 3 || weights[1] != 5 {
+		t.Errorf("weights = %v, want [3 5]", weights)
+	}
+	if paths[0][1] != 1 || paths[1][1] != 2 {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestKShortestPathsOrderedAndLoopless(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 4 + rng.Intn(12)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), 0.5+rng.Float64()*5)
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 0.5+rng.Float64()*5)
+			}
+		}
+		src, dst := 0, n-1
+		paths, weights := g.KShortestPaths(src, dst, 6)
+		if len(paths) == 0 {
+			return false
+		}
+		// Weights non-decreasing and consistent with the paths.
+		for i, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			if math.Abs(g.PathWeight(p)-weights[i]) > 1e-9 {
+				return false
+			}
+			if i > 0 && weights[i] < weights[i-1]-1e-9 {
+				return false
+			}
+			// Loopless: no repeated node.
+			seen := make(map[int]bool)
+			for _, v := range p {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			// Distinct from all earlier paths.
+			for j := 0; j < i; j++ {
+				if samePath(paths[j], p) {
+					return false
+				}
+			}
+		}
+		// First path must be the true shortest.
+		_, best := g.ShortestPath(src, dst)
+		return math.Abs(weights[0]-best) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("k-shortest properties failed: %v", err)
+	}
+}
+
+func TestKShortestPathsSecondBestIsExact(t *testing.T) {
+	// Verify the 2nd path against brute-force enumeration on small graphs.
+	prop := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 4 + rng.Intn(4)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), float64(1+rng.Intn(9)))
+		}
+		for e := 0; e < 3; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v, float64(1+rng.Intn(9)))
+			}
+		}
+		src, dst := 0, n-1
+
+		// Brute force: enumerate all simple paths.
+		var all []float64
+		var dfs func(v int, visited map[int]bool, cost float64)
+		dfs = func(v int, visited map[int]bool, cost float64) {
+			if v == dst {
+				all = append(all, cost)
+				return
+			}
+			g.Neighbors(v, func(u int, w float64) {
+				if !visited[u] {
+					visited[u] = true
+					dfs(u, visited, cost+w)
+					delete(visited, u)
+				}
+			})
+		}
+		dfs(src, map[int]bool{src: true}, 0)
+		if len(all) < 2 {
+			return true
+		}
+		// Deduplicate identical node sequences are distinct paths, but
+		// parallel edges can create equal-cost duplicates in `all`; Yen
+		// enumerates node sequences, so compare against sorted unique costs
+		// loosely: the 2nd Yen weight must appear among the brute-force
+		// costs and be >= the true minimum.
+		paths, weights := g.KShortestPaths(src, dst, 2)
+		if len(paths) < 2 {
+			return true
+		}
+		min2 := math.Inf(1)
+		min1 := math.Inf(1)
+		for _, c := range all {
+			if c < min1 {
+				min2 = min1
+				min1 = c
+			} else if c < min2 {
+				min2 = c
+			}
+		}
+		// Yen's 2nd path cost equals the 2nd-smallest simple-path cost
+		// (counting the best path's cost once).
+		return math.Abs(weights[1]-min2) < 1e-9 || math.Abs(weights[1]-min1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("second-best exactness failed: %v", err)
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	// Unreachable destination.
+	if paths, _ := g.KShortestPaths(0, 2, 3); paths != nil {
+		t.Errorf("unreachable should give nil, got %v", paths)
+	}
+	// Single path only.
+	paths, weights := g.KShortestPaths(0, 1, 4)
+	if len(paths) != 1 || weights[0] != 1 {
+		t.Errorf("line graph: %v %v", paths, weights)
+	}
+	// Panics.
+	for name, fn := range map[string]func(){
+		"bad src": func() { g.KShortestPaths(-1, 1, 2) },
+		"bad k":   func() { g.KShortestPaths(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkKShortestPaths(b *testing.B) {
+	rng := stats.NewRNG(71)
+	g := randomConnectedGraph(rng, 60, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KShortestPaths(0, 59, 5)
+	}
+}

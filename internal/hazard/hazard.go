@@ -1,0 +1,228 @@
+// Package hazard builds the paper's historical outage risk model
+// (Section 5.2): per-catalog Gaussian kernel density estimates whose sum is
+// the aggregate geo-spatial outage likelihood o_h evaluated at network PoPs.
+// Bandwidths come either from explicit configuration (the trained values of
+// the paper's Table 1 by default) or from k-fold cross-validation.
+//
+// # Risk units
+//
+// Kernel densities integrate to one over the plane and so carry units of
+// probability per square mile, giving raw values around 1e-5. The paper's
+// tuning parameters (λ_h = 10⁵, λ_f = 10³) only make sense when the risk
+// term is commensurate with path distances in miles, so this package
+// expresses risk in calibrated units — kernel densities scaled by
+// RiskScale = 2·10⁵. With that unit, λ_h·o_h·α_ij lands in the tens-to-
+// hundreds-of-miles range for Tier-1 networks, reproducing the paper's
+// trade-off regime. DESIGN.md discusses the calibration.
+package hazard
+
+import (
+	"fmt"
+	"math"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/kde"
+	"riskroute/internal/topology"
+)
+
+// RiskScale converts kernel densities (per square mile) to the package's
+// calibrated risk unit (see the package comment).
+const RiskScale = 2e5
+
+// Source is one disaster catalog to fold into the risk model.
+type Source struct {
+	Name   string
+	Events []geo.Point
+	// Bandwidth is the kernel bandwidth in miles. Zero means "select by
+	// cross-validation" during Fit.
+	Bandwidth float64
+	// Scale multiplies the fitted density surface (zero means 1). Kernel
+	// densities integrate to one regardless of catalog size, so comparing
+	// models built from different event *rates* — seasonal slices of an
+	// annual catalog, or catalogs covering different time spans — requires
+	// scaling each surface by its relative rate.
+	Scale float64
+}
+
+// FittedSource is a catalog with its bandwidth resolved and its density
+// surface rasterized.
+type FittedSource struct {
+	Name      string
+	Bandwidth float64
+	Events    int
+	Field     *kde.Field
+	estimator *kde.Estimator
+}
+
+// Model is the aggregate historical outage risk surface.
+type Model struct {
+	Sources []FittedSource
+}
+
+// FitConfig controls model fitting.
+type FitConfig struct {
+	// Bounds is the raster region (default: continental US padded 2°).
+	Bounds geo.Bounds
+	// CellMiles is the target raster cell size in miles. Each source gets
+	// its own grid with cells no larger than min(CellMiles, bandwidth/2), so
+	// sharply peaked surfaces (the paper's 3.59-mile wind bandwidth) stay
+	// resolved. Default 20.
+	CellMiles float64
+	// CV configures bandwidth cross-validation for sources with Bandwidth
+	// zero. The zero value uses kde defaults.
+	CV kde.CVConfig
+}
+
+func (c FitConfig) withDefaults() FitConfig {
+	if c.Bounds == (geo.Bounds{}) {
+		c.Bounds = geo.ContinentalUS.Expand(2)
+	}
+	if c.CellMiles == 0 {
+		c.CellMiles = 20
+	}
+	return c
+}
+
+// gridFor sizes a raster so cells are at most cellMiles (and at most half
+// the bandwidth) on a side, within sane limits.
+func gridFor(bounds geo.Bounds, cellMiles, bandwidth float64) geo.Grid {
+	target := cellMiles
+	if half := bandwidth / 2; half < target {
+		target = half
+	}
+	if target < 1.5 {
+		target = 1.5
+	}
+	latMiles := (bounds.MaxLat - bounds.MinLat) * 69.0
+	midLat := (bounds.MinLat + bounds.MaxLat) / 2
+	lonMiles := (bounds.MaxLon - bounds.MinLon) * 69.0 * math.Cos(geo.DegToRad(midLat))
+	rows := int(latMiles/target) + 1
+	cols := int(lonMiles/target) + 1
+	const maxDim = 2600
+	if rows > maxDim {
+		rows = maxDim
+	}
+	if cols > maxDim {
+		cols = maxDim
+	}
+	if rows < 8 {
+		rows = 8
+	}
+	if cols < 8 {
+		cols = 8
+	}
+	return geo.NewGrid(bounds, rows, cols)
+}
+
+// Fit resolves bandwidths (by cross-validation where unspecified) and
+// rasterizes each catalog onto a bandwidth-appropriate grid. It panics on an
+// empty source list and returns an error for a source with no events.
+func Fit(sources []Source, cfg FitConfig) (*Model, error) {
+	if len(sources) == 0 {
+		panic("hazard: Fit with no sources")
+	}
+	cfg = cfg.withDefaults()
+	m := &Model{}
+	for _, s := range sources {
+		if len(s.Events) == 0 {
+			return nil, fmt.Errorf("hazard: source %q has no events", s.Name)
+		}
+		bw := s.Bandwidth
+		if bw == 0 {
+			bw = kde.SelectBandwidth(s.Events, cfg.CV).Bandwidth
+		}
+		est := kde.New(s.Events, bw)
+		grid := gridFor(cfg.Bounds, cfg.CellMiles, bw)
+		field := kde.Rasterize(est, grid, 5)
+		if s.Scale < 0 {
+			return nil, fmt.Errorf("hazard: source %q has negative scale", s.Name)
+		}
+		if s.Scale != 0 && s.Scale != 1 {
+			field.Scale(s.Scale)
+		}
+		m.Sources = append(m.Sources, FittedSource{
+			Name:      s.Name,
+			Bandwidth: bw,
+			Events:    len(s.Events),
+			Field:     field,
+			estimator: est,
+		})
+	}
+	return m, nil
+}
+
+// RiskAt returns the aggregate historical outage risk o_h at p: the sum of
+// all source densities, in calibrated risk units.
+func (m *Model) RiskAt(p geo.Point) float64 {
+	sum := 0.0
+	for i := range m.Sources {
+		sum += m.Sources[i].Field.At(p)
+	}
+	return sum * RiskScale
+}
+
+// SourceRiskAt returns one named source's risk at p (same units as RiskAt).
+// It panics on an unknown source name.
+func (m *Model) SourceRiskAt(name string, p geo.Point) float64 {
+	for i := range m.Sources {
+		if m.Sources[i].Name == name {
+			return m.Sources[i].Field.At(p) * RiskScale
+		}
+	}
+	panic("hazard: unknown source " + name)
+}
+
+// PoPRisks evaluates RiskAt for every PoP of the network, index-aligned.
+func (m *Model) PoPRisks(n *topology.Network) []float64 {
+	out := make([]float64, len(n.PoPs))
+	for i, p := range n.PoPs {
+		out[i] = m.RiskAt(p.Location)
+	}
+	return out
+}
+
+// LinkRisks samples the aggregate risk along every link's great-circle span
+// at `samples` interior points (endpoints excluded — their risk is already
+// the PoPs') and returns the mean per link, index-aligned with Net.Links.
+// This feeds risk.Context.SetLinkHist, extending the paper's PoP-only risk
+// to fiber-span exposure. samples defaults to 8 when non-positive.
+func (m *Model) LinkRisks(n *topology.Network, samples int) []float64 {
+	if samples <= 0 {
+		samples = 8
+	}
+	out := make([]float64, len(n.Links))
+	for li, l := range n.Links {
+		a := n.PoPs[l.A].Location
+		b := n.PoPs[l.B].Location
+		sum := 0.0
+		for s := 1; s <= samples; s++ {
+			f := float64(s) / float64(samples+1)
+			sum += m.RiskAt(geo.Interpolate(a, b, f))
+		}
+		out[li] = sum / float64(samples)
+	}
+	return out
+}
+
+// MeanPoPRisk returns the average PoP risk of a network, the "Average PoP
+// Risk" characteristic of the paper's Table 3.
+func (m *Model) MeanPoPRisk(n *topology.Network) float64 {
+	risks := m.PoPRisks(n)
+	sum := 0.0
+	for _, r := range risks {
+		sum += r
+	}
+	return sum / float64(len(risks))
+}
+
+// CombinedField rasterizes the aggregate risk surface onto the given grid
+// (for heat-map rendering; routing uses the per-source fields directly).
+func (m *Model) CombinedField(grid geo.Grid) *kde.Field {
+	out := kde.NewField(grid)
+	for r := 0; r < grid.Rows; r++ {
+		for c := 0; c < grid.Cols; c++ {
+			out.Values[grid.Index(r, c)] = m.RiskAt(grid.CellCenter(r, c))
+		}
+	}
+	return out
+}

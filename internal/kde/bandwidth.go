@@ -1,0 +1,214 @@
+package kde
+
+import (
+	"math"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/stats"
+)
+
+// CVConfig controls bandwidth cross-validation.
+type CVConfig struct {
+	// Folds is the number of cross-validation folds (the paper uses 5-way CV).
+	Folds int
+	// Candidates is the bandwidth grid to search, in miles. If nil, a
+	// logarithmic grid spanning [1, 1000] miles is used.
+	Candidates []float64
+	// MaxEvents caps the catalog size used during CV; larger catalogs are
+	// subsampled deterministically. Zero means no cap. The paper's wind
+	// catalog has 143,847 events, for which exact leave-fold-out evaluation
+	// is quadratic — the cap keeps CV tractable without changing which
+	// bandwidth wins (the likelihood surface is smooth in σ).
+	MaxEvents int
+	// Grid is the histogram grid over which the KL divergence between the
+	// held-out empirical distribution and the fitted density is computed.
+	// A zero Grid defaults to a 40×80 grid over the continental US.
+	Grid geo.Grid
+	// Seed drives fold assignment and subsampling.
+	Seed uint64
+}
+
+func (c CVConfig) withDefaults() CVConfig {
+	if c.Folds == 0 {
+		c.Folds = 5
+	}
+	if c.Candidates == nil {
+		c.Candidates = LogGrid(1, 1000, 25)
+	}
+	if c.Grid.Rows == 0 {
+		c.Grid = geo.NewGrid(geo.ContinentalUS.Expand(2), 40, 80)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LogGrid returns n logarithmically spaced values from lo to hi inclusive.
+func LogGrid(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("kde: invalid log grid")
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// CVResult reports the outcome of bandwidth selection.
+type CVResult struct {
+	Bandwidth float64   // the winning bandwidth, in miles
+	Scores    []float64 // mean KL divergence per candidate (same order)
+	Used      int       // number of events actually used after subsampling
+}
+
+// SelectBandwidth chooses the kernel bandwidth for events by k-fold
+// cross-validation: each fold's held-out events are histogrammed over
+// cfg.Grid, the estimator fitted on the remaining events is rasterized over
+// the same grid, and the KL divergence D(held-out ‖ fitted) is averaged
+// across folds. The candidate minimizing the mean divergence wins. This
+// mirrors the paper's Section 5.2 procedure (5-way CV, KL divergence
+// criterion). It panics with fewer than 2×Folds events.
+func SelectBandwidth(events []geo.Point, cfg CVConfig) CVResult {
+	cfg = cfg.withDefaults()
+	if len(events) < 2*cfg.Folds {
+		panic("kde: too few events for cross-validation")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	if cfg.MaxEvents > 0 && len(events) > cfg.MaxEvents {
+		perm := rng.Perm(len(events))
+		sub := make([]geo.Point, cfg.MaxEvents)
+		for i := range sub {
+			sub[i] = events[perm[i]]
+		}
+		events = sub
+	}
+
+	folds := stats.KFold(len(events), cfg.Folds, rng)
+	scores := make([]float64, len(cfg.Candidates))
+	cells := cfg.Grid.Size()
+
+	// Cell areas convert densities (per square mile) to per-cell probability
+	// mass so the KL divergence compares like with like.
+	areas := make([]float64, cells)
+	for r := 0; r < cfg.Grid.Rows; r++ {
+		lat := cfg.Grid.CellCenter(r, 0).Lat
+		area := cfg.Grid.CellHeight() * 69.0 * cfg.Grid.CellWidth() * 69.0 * math.Cos(geo.DegToRad(lat))
+		for c := 0; c < cfg.Grid.Cols; c++ {
+			areas[cfg.Grid.Index(r, c)] = area
+		}
+	}
+
+	for f := 0; f < cfg.Folds; f++ {
+		test := folds[f]
+		train := make([]geo.Point, 0, len(events)-len(test))
+		inTest := make(map[int]bool, len(test))
+		for _, i := range test {
+			inTest[i] = true
+		}
+		for i, ev := range events {
+			if !inTest[i] {
+				train = append(train, ev)
+			}
+		}
+
+		// Histogram the held-out events once per fold.
+		hist := make([]float64, cells)
+		for _, i := range test {
+			r, c := cfg.Grid.Cell(events[i])
+			hist[cfg.Grid.Index(r, c)]++
+		}
+
+		for ci, bw := range cfg.Candidates {
+			field := Rasterize(New(train, bw), cfg.Grid, 5)
+			pred := make([]float64, cells)
+			for i, v := range field.Values {
+				pred[i] = v * areas[i]
+			}
+			scores[ci] += stats.KLDivergence(hist, pred)
+		}
+	}
+
+	best := 0
+	for i := range scores {
+		scores[i] /= float64(cfg.Folds)
+		if scores[i] < scores[best] {
+			best = i
+		}
+	}
+	return CVResult{Bandwidth: cfg.Candidates[best], Scores: scores, Used: len(events)}
+}
+
+// SelectBandwidthRefined runs SelectBandwidth and then refines the winner by
+// golden-section search on the mean-KL objective within the bracket formed
+// by the winner's grid neighbors. The refinement evaluates the same k-fold
+// objective, so it needs a handful of extra CV sweeps; iterations bounds
+// them (default 8, giving a bracket reduction of ~47×).
+func SelectBandwidthRefined(events []geo.Point, cfg CVConfig, iterations int) CVResult {
+	if iterations <= 0 {
+		iterations = 8
+	}
+	coarse := SelectBandwidth(events, cfg)
+	cfg = cfg.withDefaults()
+
+	// Bracket around the winning candidate.
+	idx := 0
+	for i, c := range cfg.Candidates {
+		if c == coarse.Bandwidth {
+			idx = i
+			break
+		}
+	}
+	lo := coarse.Bandwidth / 2
+	hi := coarse.Bandwidth * 2
+	if idx > 0 {
+		lo = cfg.Candidates[idx-1]
+	}
+	if idx < len(cfg.Candidates)-1 {
+		hi = cfg.Candidates[idx+1]
+	}
+
+	objective := func(bw float64) float64 {
+		r := SelectBandwidth(events, CVConfig{
+			Folds:      cfg.Folds,
+			Candidates: []float64{bw},
+			MaxEvents:  cfg.MaxEvents,
+			Grid:       cfg.Grid,
+			Seed:       cfg.Seed,
+		})
+		return r.Scores[0]
+	}
+
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := objective(x1), objective(x2)
+	for it := 0; it < iterations; it++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = objective(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = objective(x2)
+		}
+	}
+	mid := (a + b) / 2
+	score := objective(mid)
+	// Keep the coarse winner if refinement didn't actually help (can happen
+	// on noisy objectives with small folds).
+	bestIdx := 0
+	for i, s := range coarse.Scores {
+		if s < coarse.Scores[bestIdx] {
+			bestIdx = i
+		}
+	}
+	if score > coarse.Scores[bestIdx] {
+		return coarse
+	}
+	return CVResult{Bandwidth: mid, Scores: []float64{score}, Used: coarse.Used}
+}

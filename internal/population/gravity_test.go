@@ -1,0 +1,102 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/topology"
+)
+
+func gravityNet() *Assignment {
+	n := &topology.Network{
+		Name: "G", Tier: topology.Tier1,
+		PoPs: []topology.PoP{
+			{Name: "BigWest", Location: geo.Point{Lat: 34, Lon: -118}},
+			{Name: "BigEast", Location: geo.Point{Lat: 40.7, Lon: -74}},
+			{Name: "SmallMid", Location: geo.Point{Lat: 39, Lon: -95}},
+			{Name: "SmallSouth", Location: geo.Point{Lat: 30, Lon: -90}},
+		},
+		Links: []topology.Link{{A: 0, B: 2}, {A: 2, B: 1}, {A: 2, B: 3}},
+	}
+	return &Assignment{
+		Network:   n,
+		Fractions: []float64{0.4, 0.4, 0.15, 0.05},
+	}
+}
+
+func TestGravityImpactProperties(t *testing.T) {
+	a := gravityNet()
+	m := GravityImpact(a)
+	n := len(a.Fractions)
+
+	var gravSum, defSum float64
+	for i := 0; i < n; i++ {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v", i, i, m[i][i])
+		}
+		for j := i + 1; j < n; j++ {
+			if m[i][j] < 0 {
+				t.Errorf("negative impact [%d][%d]", i, j)
+			}
+			if math.Abs(m[i][j]-m[j][i]) > 1e-15 {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			gravSum += m[i][j]
+			defSum += a.Fractions[i] + a.Fractions[j]
+		}
+	}
+	// Normalization: total pairwise impact matches the additive default.
+	if math.Abs(gravSum-defSum) > 1e-9 {
+		t.Errorf("gravity total %v, default total %v", gravSum, defSum)
+	}
+}
+
+func TestGravityImpactShape(t *testing.T) {
+	a := gravityNet()
+	m := GravityImpact(a)
+	// Two big cities dominate two small ones at comparable distances:
+	// BigWest-BigEast demand (0.4·0.4 over ~2450mi) must exceed
+	// SmallMid-SmallSouth (0.15·0.05 over ~700mi).
+	if m[0][1] <= m[2][3] {
+		t.Errorf("big-pair demand %v should exceed small-pair %v", m[0][1], m[2][3])
+	}
+	// Distance decay: BigEast-SmallMid (~1100mi) beats BigWest-BigEast
+	// per unit population product... verify raw ordering of c·c/d directly.
+	want01 := 0.4 * 0.4 / geo.Distance(a.Network.PoPs[0].Location, a.Network.PoPs[1].Location)
+	want12 := 0.4 * 0.15 / geo.Distance(a.Network.PoPs[1].Location, a.Network.PoPs[2].Location)
+	if (m[0][1] > m[1][2]) != (want01 > want12) {
+		t.Error("gravity ordering inconsistent with c_i·c_j/d")
+	}
+	fn := GravityImpactFunc(a)
+	if fn(0, 1) != m[0][1] {
+		t.Error("GravityImpactFunc disagrees with matrix")
+	}
+}
+
+func TestGravityImpactDegenerate(t *testing.T) {
+	n := &topology.Network{
+		Name: "One", Tier: topology.Tier1,
+		PoPs: []topology.PoP{{Name: "A", Location: geo.Point{Lat: 40, Lon: -90}}},
+	}
+	a := &Assignment{Network: n, Fractions: []float64{1}}
+	m := GravityImpact(a)
+	if len(m) != 1 || m[0][0] != 1+1 {
+		// Single PoP: fallback additive impact (diagonal uses c_i + c_j).
+		t.Logf("single-PoP fallback: %v", m)
+	}
+	// Co-located PoPs: the 1-mile distance floor avoids division blowups.
+	two := &topology.Network{
+		Name: "Two", Tier: topology.Tier1,
+		PoPs: []topology.PoP{
+			{Name: "A", Location: geo.Point{Lat: 40, Lon: -90}},
+			{Name: "B", Location: geo.Point{Lat: 40, Lon: -90}},
+		},
+		Links: []topology.Link{{A: 0, B: 1}},
+	}
+	at := &Assignment{Network: two, Fractions: []float64{0.5, 0.5}}
+	mt := GravityImpact(at)
+	if math.IsInf(mt[0][1], 0) || math.IsNaN(mt[0][1]) {
+		t.Errorf("co-located impact = %v", mt[0][1])
+	}
+}

@@ -1,0 +1,181 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/kde"
+	"riskroute/internal/topology"
+)
+
+// SVGMap renders geographic layers — risk fields, network links and PoPs,
+// routes, storm wind fields — into a standalone SVG document, the graphical
+// counterpart of the package's ASCII renderers. Figures land as real
+// vector images:
+//
+//	m := report.NewSVGMap(900)
+//	m.AddField(riskField, "#c0392b", 0.8)
+//	m.AddLinks(net, "#888", 0.6)
+//	m.AddPoPs(net.Locations(), 2.5, "#2c3e50")
+//	m.AddRoute(net, path, "#e67e22", 2.5)
+//	m.Render(file)
+type SVGMap struct {
+	width, height float64
+	bounds        geo.Bounds
+	elements      []string
+}
+
+// NewSVGMap creates a map of the continental US at the given pixel width
+// (height follows the bounding box's aspect ratio). It panics on a
+// non-positive width.
+func NewSVGMap(width int) *SVGMap {
+	return NewSVGMapBounds(width, geo.ContinentalUS)
+}
+
+// NewSVGMapBounds creates a map over an arbitrary bounding box.
+func NewSVGMapBounds(width int, bounds geo.Bounds) *SVGMap {
+	if width <= 0 {
+		panic("report: non-positive SVG width")
+	}
+	lonSpan := bounds.MaxLon - bounds.MinLon
+	latSpan := bounds.MaxLat - bounds.MinLat
+	// Approximate plate carrée aspect correction at the mid latitude.
+	midLat := (bounds.MinLat + bounds.MaxLat) / 2
+	aspect := latSpan / (lonSpan * math.Cos(geo.DegToRad(midLat)))
+	m := &SVGMap{
+		width:  float64(width),
+		height: float64(width) * aspect,
+		bounds: bounds,
+	}
+	m.elements = append(m.elements, fmt.Sprintf(
+		`<rect x="0" y="0" width="%.0f" height="%.0f" fill="#f8f9fa" stroke="#ced4da"/>`,
+		m.width, m.height))
+	return m
+}
+
+// project maps a geographic point to SVG coordinates (y grows south).
+func (m *SVGMap) project(p geo.Point) (float64, float64) {
+	x := (p.Lon - m.bounds.MinLon) / (m.bounds.MaxLon - m.bounds.MinLon) * m.width
+	y := (m.bounds.MaxLat - p.Lat) / (m.bounds.MaxLat - m.bounds.MinLat) * m.height
+	return x, y
+}
+
+// milesToPixels converts a distance to approximate pixels at the map's mid
+// latitude.
+func (m *SVGMap) milesToPixels(miles float64) float64 {
+	lonSpanMiles := (m.bounds.MaxLon - m.bounds.MinLon) * 69.0 *
+		math.Cos(geo.DegToRad((m.bounds.MinLat+m.bounds.MaxLat)/2))
+	return miles / lonSpanMiles * m.width
+}
+
+// AddField overlays a rasterized density field as translucent cells of the
+// given color, with opacity scaled linearly up to maxOpacity at the field
+// maximum. Cells below 1% of the maximum are skipped to keep files small.
+func (m *SVGMap) AddField(f *kde.Field, color string, maxOpacity float64) {
+	if maxOpacity <= 0 || maxOpacity > 1 {
+		maxOpacity = 0.8
+	}
+	max := f.Max()
+	if max <= 0 {
+		return
+	}
+	g := f.Grid
+	cellW := m.width / float64(g.Cols) * (g.Bounds.MaxLon - g.Bounds.MinLon) / (m.bounds.MaxLon - m.bounds.MinLon)
+	cellH := m.height / float64(g.Rows) * (g.Bounds.MaxLat - g.Bounds.MinLat) / (m.bounds.MaxLat - m.bounds.MinLat)
+	var b strings.Builder
+	b.WriteString(`<g shape-rendering="crispEdges">`)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			v := f.Values[g.Index(r, c)]
+			if v < max*0.01 {
+				continue
+			}
+			center := g.CellCenter(r, c)
+			x, y := m.project(center)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.3f"/>`,
+				x-cellW/2, y-cellH/2, cellW, cellH, color, maxOpacity*v/max)
+		}
+	}
+	b.WriteString(`</g>`)
+	m.elements = append(m.elements, b.String())
+}
+
+// AddLinks draws every link of a network.
+func (m *SVGMap) AddLinks(n *topology.Network, stroke string, width float64) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<g stroke="%s" stroke-width="%.2f" stroke-opacity="0.7">`, stroke, width)
+	for _, l := range n.Links {
+		x1, y1 := m.project(n.PoPs[l.A].Location)
+		x2, y2 := m.project(n.PoPs[l.B].Location)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`, x1, y1, x2, y2)
+	}
+	b.WriteString(`</g>`)
+	m.elements = append(m.elements, b.String())
+}
+
+// AddPoPs draws point markers.
+func (m *SVGMap) AddPoPs(points []geo.Point, radius float64, fill string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<g fill="%s">`, fill)
+	for _, p := range points {
+		x, y := m.project(p)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.2f"/>`, x, y, radius)
+	}
+	b.WriteString(`</g>`)
+	m.elements = append(m.elements, b.String())
+}
+
+// AddRoute highlights a path (node index sequence) through a network.
+func (m *SVGMap) AddRoute(n *topology.Network, path []int, stroke string, width float64) {
+	if len(path) < 2 {
+		return
+	}
+	var pts []string
+	for _, v := range path {
+		x, y := m.project(n.PoPs[v].Location)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	m.elements = append(m.elements, fmt.Sprintf(
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f" stroke-linecap="round"/>`,
+		strings.Join(pts, " "), stroke, width))
+}
+
+// AddGeoCircle draws a circle with a radius given in miles (e.g. a
+// hurricane wind field).
+func (m *SVGMap) AddGeoCircle(center geo.Point, radiusMiles float64, fill string, opacity float64) {
+	x, y := m.project(center)
+	m.elements = append(m.elements, fmt.Sprintf(
+		`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="%.3f"/>`,
+		x, y, m.milesToPixels(radiusMiles), fill, opacity))
+}
+
+// AddLabel places text at a geographic point.
+func (m *SVGMap) AddLabel(p geo.Point, text, fill string, size float64) {
+	x, y := m.project(p)
+	m.elements = append(m.elements, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" fill="%s" font-size="%.1f" font-family="sans-serif">%s</text>`,
+		x+3, y-3, fill, size, escapeXML(text)))
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Render emits the complete SVG document.
+func (m *SVGMap) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		m.width, m.height, m.width, m.height)
+	b.WriteString("\n")
+	for _, el := range m.elements {
+		b.WriteString(el)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

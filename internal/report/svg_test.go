@@ -1,0 +1,145 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/kde"
+	"riskroute/internal/topology"
+)
+
+func svgTestNet() *topology.Network {
+	return &topology.Network{
+		Name: "SVGNet",
+		Tier: topology.Tier1,
+		PoPs: []topology.PoP{
+			{Name: "West", Location: geo.Point{Lat: 38, Lon: -120}},
+			{Name: "Mid", Location: geo.Point{Lat: 40, Lon: -100}},
+			{Name: "East <&>", Location: geo.Point{Lat: 41, Lon: -75}},
+		},
+		Links: []topology.Link{{A: 0, B: 1}, {A: 1, B: 2}},
+	}
+}
+
+// renderAll builds a map exercising every layer type.
+func renderAll(t *testing.T) string {
+	t.Helper()
+	n := svgTestNet()
+	grid := geo.NewGrid(geo.ContinentalUS, 10, 20)
+	f := kde.NewField(grid)
+	f.Values[grid.Index(5, 10)] = 1.0
+	f.Values[grid.Index(5, 11)] = 0.5
+	f.Values[grid.Index(0, 0)] = 0.001 // below the 1% cut
+
+	m := NewSVGMap(800)
+	m.AddField(f, "#c0392b", 0.8)
+	m.AddLinks(n, "#888888", 0.7)
+	m.AddPoPs(n.Locations(), 3, "#2c3e50")
+	m.AddRoute(n, []int{0, 1, 2}, "#e67e22", 2)
+	m.AddGeoCircle(geo.Point{Lat: 30, Lon: -90}, 100, "#3498db", 0.3)
+	m.AddLabel(n.PoPs[2].Location, n.PoPs[2].Name, "#000000", 10)
+
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := renderAll(t)
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	if !strings.HasPrefix(out, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Error("missing SVG root")
+	}
+}
+
+func TestSVGLayers(t *testing.T) {
+	out := renderAll(t)
+	// Two field cells above the cutoff, the sub-1% one skipped (plus the
+	// background rect).
+	if got := strings.Count(out, "<rect"); got != 3 {
+		t.Errorf("rect count = %d, want 3 (background + 2 field cells)", got)
+	}
+	if got := strings.Count(out, "<line"); got != 2 {
+		t.Errorf("line count = %d, want 2 links", got)
+	}
+	// Three PoPs plus one geo circle.
+	if got := strings.Count(out, "<circle"); got != 4 {
+		t.Errorf("circle count = %d, want 4", got)
+	}
+	if !strings.Contains(out, "<polyline") {
+		t.Error("route polyline missing")
+	}
+	// XML-escaped label.
+	if !strings.Contains(out, "East &lt;&amp;&gt;") {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+func TestSVGProjection(t *testing.T) {
+	m := NewSVGMap(1000)
+	// Southwest corner → (0, height); northeast corner → (width, 0).
+	x, y := m.project(geo.Point{Lat: geo.ContinentalUS.MinLat, Lon: geo.ContinentalUS.MinLon})
+	if x != 0 || y != m.height {
+		t.Errorf("SW corner projects to (%v, %v), want (0, %v)", x, y, m.height)
+	}
+	x, y = m.project(geo.Point{Lat: geo.ContinentalUS.MaxLat, Lon: geo.ContinentalUS.MaxLon})
+	if x != m.width || y != 0 {
+		t.Errorf("NE corner projects to (%v, %v), want (%v, 0)", x, y, m.width)
+	}
+	// A more northern point lands higher (smaller y).
+	_, yN := m.project(geo.Point{Lat: 45, Lon: -100})
+	_, yS := m.project(geo.Point{Lat: 30, Lon: -100})
+	if yN >= yS {
+		t.Errorf("north (%v) should be above south (%v)", yN, yS)
+	}
+}
+
+func TestSVGMilesToPixels(t *testing.T) {
+	m := NewSVGMap(1000)
+	// The whole map spans ~58° of longitude ≈ 3200 miles at mid-latitude;
+	// 100 miles should be a small but visible fraction of the width.
+	px := m.milesToPixels(100)
+	if px < 10 || px > 60 {
+		t.Errorf("100 miles = %.1f px at width 1000, outside plausible range", px)
+	}
+	// Linearity.
+	if got := m.milesToPixels(200); got < px*1.99 || got > px*2.01 {
+		t.Errorf("miles scaling not linear: %v vs 2×%v", got, px)
+	}
+}
+
+func TestSVGEdgeCases(t *testing.T) {
+	n := svgTestNet()
+	m := NewSVGMap(400)
+	m.AddRoute(n, []int{0}, "#000", 1) // single-node: no element added
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "polyline") {
+		t.Error("single-node route should render nothing")
+	}
+	// Empty field: nothing emitted.
+	f := kde.NewField(geo.NewGrid(geo.ContinentalUS, 4, 4))
+	m.AddField(f, "#fff", 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive width should panic")
+		}
+	}()
+	NewSVGMap(0)
+}

@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The native text format is line-oriented with pipe-separated fields,
+// designed so topology files are diffable and hand-editable:
+//
+//	# comment
+//	network|Level3|tier1
+//	pop|Houston, TX|29.7604|-95.3698|TX
+//	pop|Dallas, TX|32.7767|-96.7970|TX
+//	link|Houston, TX|Dallas, TX
+//
+// A file may contain several networks; each "network" line starts a new one.
+
+// Write serializes networks in the native text format.
+func Write(w io.Writer, networks []*Network) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range networks {
+		fmt.Fprintf(bw, "network|%s|%s\n", n.Name, n.Tier)
+		for _, p := range n.PoPs {
+			fmt.Fprintf(bw, "pop|%s|%.6f|%.6f|%s\n", p.Name, p.Location.Lat, p.Location.Lon, p.State)
+		}
+		for _, l := range n.Links {
+			fmt.Fprintf(bw, "link|%s|%s\n", n.PoPs[l.A].Name, n.PoPs[l.B].Name)
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads networks in the native text format. Each parsed network is
+// validated before being returned.
+func Parse(r io.Reader) ([]*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var networks []*Network
+	var cur *Network
+	popIdx := map[string]int{}
+	lineNo := 0
+
+	finish := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.Validate(); err != nil {
+			return err
+		}
+		networks = append(networks, cur)
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		switch fields[0] {
+		case "network":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: network takes name and tier", lineNo)
+			}
+			if err := finish(); err != nil {
+				return nil, err
+			}
+			var tier Tier
+			switch fields[2] {
+			case "tier1":
+				tier = Tier1
+			case "regional":
+				tier = Regional
+			default:
+				return nil, fmt.Errorf("topology: line %d: unknown tier %q", lineNo, fields[2])
+			}
+			cur = &Network{Name: fields[1], Tier: tier}
+			popIdx = map[string]int{}
+		case "pop":
+			if cur == nil {
+				return nil, fmt.Errorf("topology: line %d: pop before network", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("topology: line %d: pop takes name, lat, lon, state", lineNo)
+			}
+			lat, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad latitude %q", lineNo, fields[2])
+			}
+			lon, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad longitude %q", lineNo, fields[3])
+			}
+			if _, dup := popIdx[fields[1]]; dup {
+				return nil, fmt.Errorf("topology: line %d: duplicate pop %q", lineNo, fields[1])
+			}
+			popIdx[fields[1]] = len(cur.PoPs)
+			cur.PoPs = append(cur.PoPs, PoP{
+				Name:     fields[1],
+				Location: geoPoint(lat, lon),
+				State:    fields[4],
+			})
+		case "link":
+			if cur == nil {
+				return nil, fmt.Errorf("topology: line %d: link before network", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: link takes two pop names", lineNo)
+			}
+			a, ok := popIdx[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("topology: line %d: unknown pop %q", lineNo, fields[1])
+			}
+			b, ok := popIdx[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("topology: line %d: unknown pop %q", lineNo, fields[2])
+			}
+			cur.Links = append(cur.Links, Link{A: a, B: b})
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return networks, nil
+}

@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds mutated native-format topology text to the parser: no
+// panics, and whatever parses must survive a serialize→parse round trip
+// unchanged in structure.
+// Run with: go test -fuzz=FuzzParse ./internal/topology
+func FuzzParse(f *testing.F) {
+	f.Add("network|X|tier1\npop|A|30|-90|LA\npop|B|31|-91|MS\nlink|A|B\n")
+	f.Add("# comment\nnetwork|Y|regional\npop|Solo|40|-100|KS\n")
+	f.Add("network|Bad")
+	f.Add("pop|orphan|1|2|TX")
+	f.Add("")
+	f.Add("network|Z|tier1\npop|A|abc|def|??\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		nets, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be valid and round-trip stable.
+		var buf bytes.Buffer
+		if err := Write(&buf, nets); err != nil {
+			t.Fatalf("Write after successful Parse: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-Parse of Write output: %v\ninput: %q\nwritten: %q", err, input, buf.String())
+		}
+		if len(again) != len(nets) {
+			t.Fatalf("round trip changed network count: %d -> %d", len(nets), len(again))
+		}
+		for i := range nets {
+			if again[i].Name != nets[i].Name ||
+				len(again[i].PoPs) != len(nets[i].PoPs) ||
+				len(again[i].Links) != len(nets[i].Links) {
+				t.Fatalf("round trip changed network %d structure", i)
+			}
+		}
+	})
+}
+
+// FuzzParseGraphML checks the GraphML subset parser never panics on
+// arbitrary XML-ish input.
+func FuzzParseGraphML(f *testing.F) {
+	f.Add(`<graphml><key attr.name="Latitude" for="node" id="d1"/><key attr.name="Longitude" for="node" id="d2"/><graph><node id="0"><data key="d1">30</data><data key="d2">-90</data></node></graph></graphml>`)
+	f.Add(`<graphml>`)
+	f.Add(`not xml`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := ParseGraphML(strings.NewReader(input), "Fuzz", Tier1)
+		if err != nil {
+			return
+		}
+		for _, p := range n.PoPs {
+			if p.Name == "" {
+				t.Error("accepted PoP with empty name")
+			}
+		}
+		for _, l := range n.Links {
+			if l.A < 0 || l.A >= len(n.PoPs) || l.B < 0 || l.B >= len(n.PoPs) || l.A == l.B {
+				t.Errorf("accepted invalid link %+v for %d PoPs", l, len(n.PoPs))
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package topology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// GraphML support covers the subset of the format the Internet Topology Zoo
+// publishes its maps in: one <graph> of <node> elements carrying Latitude /
+// Longitude / label <data> keys, plus <edge> elements referencing node ids.
+// This lets users feed real Topology Zoo .graphml files to RiskRoute
+// unchanged.
+
+type graphmlDoc struct {
+	XMLName xml.Name     `xml:"graphml"`
+	Keys    []graphmlKey `xml:"key"`
+	Graph   graphmlGraph `xml:"graph"`
+}
+
+type graphmlKey struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+}
+
+type graphmlGraph struct {
+	Nodes []graphmlNode `xml:"node"`
+	Edges []graphmlEdge `xml:"edge"`
+}
+
+type graphmlNode struct {
+	ID   string        `xml:"id,attr"`
+	Data []graphmlData `xml:"data"`
+}
+
+type graphmlEdge struct {
+	Source string `xml:"source,attr"`
+	Target string `xml:"target,attr"`
+}
+
+type graphmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// ParseGraphML reads a Topology-Zoo-style GraphML document into a Network
+// with the given name and tier. Nodes missing coordinates (Topology Zoo
+// uses placeholder nodes for external peers) are dropped along with their
+// edges; duplicate edges collapse to one. The resulting network is NOT
+// validated for connectivity, since raw Zoo maps are occasionally
+// fragmented; callers wanting the guarantee should call Validate.
+func ParseGraphML(r io.Reader, name string, tier Tier) (*Network, error) {
+	var doc graphmlDoc
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("topology: graphml decode: %w", err)
+	}
+
+	latKey, lonKey, labelKey := "", "", ""
+	for _, k := range doc.Keys {
+		if k.For != "node" {
+			continue
+		}
+		switch k.AttrName {
+		case "Latitude":
+			latKey = k.ID
+		case "Longitude":
+			lonKey = k.ID
+		case "label":
+			labelKey = k.ID
+		}
+	}
+	if latKey == "" || lonKey == "" {
+		return nil, fmt.Errorf("topology: graphml has no Latitude/Longitude keys")
+	}
+
+	n := &Network{Name: name, Tier: tier}
+	idToIdx := make(map[string]int)
+	nameCount := make(map[string]int)
+	for _, node := range doc.Graph.Nodes {
+		var lat, lon float64
+		var haveLat, haveLon bool
+		label := node.ID
+		for _, d := range node.Data {
+			switch d.Key {
+			case latKey:
+				if v, err := strconv.ParseFloat(d.Value, 64); err == nil {
+					lat, haveLat = v, true
+				}
+			case lonKey:
+				if v, err := strconv.ParseFloat(d.Value, 64); err == nil {
+					lon, haveLon = v, true
+				}
+			case labelKey:
+				if d.Value != "" {
+					label = d.Value
+				}
+			}
+		}
+		if !haveLat || !haveLon {
+			continue // placeholder node without geolocation
+		}
+		nameCount[label]++
+		if c := nameCount[label]; c > 1 {
+			label = fmt.Sprintf("%s#%d", label, c)
+		}
+		idToIdx[node.ID] = len(n.PoPs)
+		n.PoPs = append(n.PoPs, PoP{Name: label, Location: geoPoint(lat, lon)})
+	}
+
+	seen := make(map[[2]int]bool)
+	for _, e := range doc.Graph.Edges {
+		a, okA := idToIdx[e.Source]
+		b, okB := idToIdx[e.Target]
+		if !okA || !okB || a == b {
+			continue
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		n.Links = append(n.Links, Link{A: a, B: b})
+	}
+	return n, nil
+}
+
+// WriteGraphML serializes the network as a Topology-Zoo-compatible GraphML
+// document.
+func WriteGraphML(w io.Writer, n *Network) error {
+	type kv struct {
+		Key   string `xml:"key,attr"`
+		Value string `xml:",chardata"`
+	}
+	type xnode struct {
+		ID   string `xml:"id,attr"`
+		Data []kv   `xml:"data"`
+	}
+	type xedge struct {
+		Source string `xml:"source,attr"`
+		Target string `xml:"target,attr"`
+	}
+	type xkey struct {
+		ID       string `xml:"id,attr"`
+		For      string `xml:"for,attr"`
+		AttrName string `xml:"attr.name,attr"`
+		AttrType string `xml:"attr.type,attr"`
+	}
+	type xgraph struct {
+		EdgeDefault string  `xml:"edgedefault,attr"`
+		Nodes       []xnode `xml:"node"`
+		Edges       []xedge `xml:"edge"`
+	}
+	type xdoc struct {
+		XMLName xml.Name `xml:"graphml"`
+		Keys    []xkey   `xml:"key"`
+		Graph   xgraph   `xml:"graph"`
+	}
+
+	doc := xdoc{
+		Keys: []xkey{
+			{ID: "d0", For: "node", AttrName: "Latitude", AttrType: "double"},
+			{ID: "d1", For: "node", AttrName: "Longitude", AttrType: "double"},
+			{ID: "d2", For: "node", AttrName: "label", AttrType: "string"},
+		},
+		Graph: xgraph{EdgeDefault: "undirected"},
+	}
+	for i, p := range n.PoPs {
+		doc.Graph.Nodes = append(doc.Graph.Nodes, xnode{
+			ID: strconv.Itoa(i),
+			Data: []kv{
+				{Key: "d0", Value: strconv.FormatFloat(p.Location.Lat, 'f', 6, 64)},
+				{Key: "d1", Value: strconv.FormatFloat(p.Location.Lon, 'f', 6, 64)},
+				{Key: "d2", Value: p.Name},
+			},
+		})
+	}
+	for _, l := range n.Links {
+		doc.Graph.Edges = append(doc.Graph.Edges, xedge{
+			Source: strconv.Itoa(l.A),
+			Target: strconv.Itoa(l.B),
+		})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

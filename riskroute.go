@@ -1,0 +1,397 @@
+// Package riskroute is a from-scratch implementation of RiskRoute, the
+// framework for mitigating network outage threats introduced by Eriksson,
+// Durairajan, and Barford (ACM CoNEXT 2013).
+//
+// RiskRoute quantifies routing exposure with bit-risk miles — the geographic
+// distance traffic travels plus the impact-scaled outage risk it encounters —
+// and optimizes over it:
+//
+//   - risk-averse intradomain routing between arbitrary PoPs (Equation 3),
+//   - interdomain bounds across a peering mesh (Section 6.2),
+//   - provisioning: the new links or peering relationships that best reduce a
+//     network's total outage risk (Equation 4, Section 6.3),
+//   - disaster replays driven by parsed NHC hurricane advisories.
+//
+// The package is a facade over the implementation in internal/…: it exposes
+// the domain types as aliases plus constructors, so downstream code never
+// imports internal packages. A minimal session:
+//
+//	net := riskroute.BuiltinNetwork("Level3")
+//	census := riskroute.SyntheticCensus(20000, 1)
+//	model, _ := riskroute.FitHazard(riskroute.SyntheticHazardSources(1.0, 1), riskroute.HazardFitConfig{})
+//	asg, _ := riskroute.AssignPopulation(census, net)
+//	ctx := &riskroute.Context{
+//		Net: net, Hist: model.PoPRisks(net),
+//		Fractions: asg.Fractions, Params: riskroute.PaperParams(),
+//	}
+//	engine, _ := riskroute.NewEngine(ctx, riskroute.Options{})
+//	path := engine.RiskRoutePair(net.PoPIndex("Houston"), net.PoPIndex("Boston"))
+//
+// The experiments subsystem (Lab) regenerates every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md.
+package riskroute
+
+import (
+	"io"
+
+	"riskroute/internal/core"
+	"riskroute/internal/datasets"
+	"riskroute/internal/experiments"
+	"riskroute/internal/forecast"
+	"riskroute/internal/geo"
+	"riskroute/internal/hazard"
+	"riskroute/internal/interdomain"
+	"riskroute/internal/population"
+	"riskroute/internal/risk"
+	"riskroute/internal/topology"
+)
+
+// Geographic primitives.
+type (
+	// Point is a latitude/longitude coordinate in decimal degrees.
+	Point = geo.Point
+	// Bounds is an axis-aligned geographic bounding box.
+	Bounds = geo.Bounds
+)
+
+// Distance returns the great-circle distance between two points in statute
+// miles.
+func Distance(a, b Point) float64 { return geo.Distance(a, b) }
+
+// ContinentalUS approximates the conterminous United States bounding box.
+var ContinentalUS = geo.ContinentalUS
+
+// Topology types.
+type (
+	// Network is one ISP's infrastructure map: geolocated PoPs and links.
+	Network = topology.Network
+	// PoP is a point of presence.
+	PoP = topology.PoP
+	// Link is an undirected edge between two PoP indices.
+	Link = topology.Link
+	// Tier classifies networks as Tier-1 or regional.
+	Tier = topology.Tier
+)
+
+// Network tiers.
+const (
+	Tier1    = topology.Tier1
+	Regional = topology.Regional
+)
+
+// ParseTopology reads networks in the native pipe-separated text format.
+func ParseTopology(r io.Reader) ([]*Network, error) { return topology.Parse(r) }
+
+// WriteTopology serializes networks in the native text format.
+func WriteTopology(w io.Writer, nets []*Network) error { return topology.Write(w, nets) }
+
+// ParseGraphML reads a Topology-Zoo-style GraphML map.
+func ParseGraphML(r io.Reader, name string, tier Tier) (*Network, error) {
+	return topology.ParseGraphML(r, name, tier)
+}
+
+// WriteGraphML serializes a network as Topology-Zoo-compatible GraphML.
+func WriteGraphML(w io.Writer, n *Network) error { return topology.WriteGraphML(w, n) }
+
+// BuiltinNetworks returns the embedded 23-network corpus (7 Tier-1 followed
+// by 16 regional), matching the paper's Section 4.1 inventory.
+func BuiltinNetworks() []*Network { return datasets.BuildNetworks() }
+
+// BuiltinTier1 returns the seven Tier-1 networks.
+func BuiltinTier1() []*Network { return datasets.Tier1Networks() }
+
+// BuiltinRegional returns the sixteen regional networks.
+func BuiltinRegional() []*Network { return datasets.RegionalNetworks() }
+
+// BuiltinNetwork returns one embedded network by name, or nil.
+func BuiltinNetwork(name string) *Network { return datasets.NetworkByName(name) }
+
+// BuiltinPeered reports whether two embedded networks have an AS-level
+// relationship in the embedded peering mesh (the paper's Figure 2).
+func BuiltinPeered(a, b string) bool { return datasets.ArePeered(a, b) }
+
+// BuiltinPeers returns the embedded peer list of a network.
+func BuiltinPeers(name string) []string { return datasets.PeersOf(name) }
+
+// Population types.
+type (
+	// Census is a queryable census-block collection.
+	Census = population.Census
+	// Block is one census block.
+	Block = population.Block
+	// Assignment maps census population onto a network's PoPs.
+	Assignment = population.Assignment
+)
+
+// NewCensus wraps census blocks.
+func NewCensus(blocks []Block) *Census { return population.NewCensus(blocks) }
+
+// SyntheticCensus generates the synthetic continental-US census (see
+// DESIGN.md for how it substitutes for the paper's 215,932-block data set).
+func SyntheticCensus(blocks int, seed uint64) *Census {
+	return datasets.GenerateCensus(datasets.CensusConfig{Blocks: blocks, Seed: seed})
+}
+
+// AssignPopulation distributes census population over a network's PoPs by
+// nearest-neighbor matching (state-confined for regional networks).
+func AssignPopulation(c *Census, n *Network) (*Assignment, error) {
+	return population.Assign(c, n)
+}
+
+// GravityImpact derives a gravity-model traffic matrix from an assignment —
+// the paper's suggested traffic-flow alternative to the additive impact
+// α_ij = c_i + c_j. Plug the result into Context.Impact.
+func GravityImpact(a *Assignment) func(i, j int) float64 {
+	return population.GravityImpactFunc(a)
+}
+
+// Hazard types.
+type (
+	// HazardModel is the aggregate historical outage risk surface o_h.
+	HazardModel = hazard.Model
+	// HazardSource is one disaster catalog with an optional fixed bandwidth.
+	HazardSource = hazard.Source
+	// HazardFitConfig controls risk-model fitting.
+	HazardFitConfig = hazard.FitConfig
+	// EventType identifies one synthetic disaster catalog.
+	EventType = datasets.EventType
+)
+
+// The five disaster catalogs of the paper's Section 4.3.
+const (
+	FEMAHurricane  = datasets.FEMAHurricane
+	FEMATornado    = datasets.FEMATornado
+	FEMAStorm      = datasets.FEMAStorm
+	NOAAEarthquake = datasets.NOAAEarthquake
+	NOAAWind       = datasets.NOAAWind
+)
+
+// SyntheticEvents generates a synthetic disaster catalog (count <= 0 uses
+// the paper's catalog size).
+func SyntheticEvents(t EventType, count int, seed uint64) []Point {
+	return datasets.GenerateEvents(t, count, seed)
+}
+
+// SyntheticHazardSources builds all five catalogs at the given scale (1.0 =
+// the paper's sizes) with the paper's Table 1 bandwidths preassigned.
+func SyntheticHazardSources(scale float64, seed uint64) []HazardSource {
+	if scale <= 0 {
+		scale = 1
+	}
+	var out []HazardSource
+	for _, et := range datasets.EventTypes {
+		count := int(float64(et.PaperCount()) * scale)
+		if count < 50 {
+			count = 50
+		}
+		out = append(out, HazardSource{
+			Name:      et.String(),
+			Events:    datasets.GenerateEvents(et, count, seed),
+			Bandwidth: et.PaperBandwidth(),
+		})
+	}
+	return out
+}
+
+// FitHazard fits the historical risk model (cross-validating bandwidths for
+// sources that leave Bandwidth zero).
+func FitHazard(sources []HazardSource, cfg HazardFitConfig) (*HazardModel, error) {
+	return hazard.Fit(sources, cfg)
+}
+
+// Seasonal risk modeling (the seasonal-correlation extension the paper
+// defers to future work).
+type (
+	// Season partitions the year (Winter..Fall).
+	Season = datasets.Season
+	// SeasonalHazard holds one fitted risk model per season.
+	SeasonalHazard = hazard.Seasonal
+	// HazardWeights emphasizes individual catalogs in the aggregate risk.
+	HazardWeights = hazard.Weights
+)
+
+// The four meteorological seasons.
+const (
+	Winter = datasets.Winter
+	Spring = datasets.Spring
+	Summer = datasets.Summer
+	Fall   = datasets.Fall
+)
+
+// SyntheticSeasonalSources builds per-season catalogs for all five event
+// types at the given annual scale, with density scales set to each season's
+// relative event rate so the fitted surfaces carry seasonal intensity.
+func SyntheticSeasonalSources(scale float64, seed uint64) [4][]HazardSource {
+	if scale <= 0 {
+		scale = 1
+	}
+	var out [4][]HazardSource
+	for si, season := range datasets.Seasons {
+		for _, et := range datasets.EventTypes {
+			annual := int(float64(et.PaperCount()) * scale)
+			if annual < 200 {
+				annual = 200
+			}
+			out[si] = append(out[si], HazardSource{
+				Name:      et.String(),
+				Events:    datasets.GenerateSeasonalEvents(et, season, annual, seed),
+				Bandwidth: et.PaperBandwidth(),
+				Scale:     4 * datasets.SeasonalShare(et, season),
+			})
+		}
+	}
+	return out
+}
+
+// FitSeasonalHazard fits one risk model per season.
+func FitSeasonalHazard(sourcesBySeason [4][]HazardSource, cfg HazardFitConfig) (*SeasonalHazard, error) {
+	return hazard.FitSeasonal(sourcesBySeason, cfg)
+}
+
+// SharedRiskResult scores the co-located outage exposure of two networks.
+type SharedRiskResult = interdomain.SharedRiskResult
+
+// SharedRisk quantifies how much of two networks' disaster exposure is
+// co-located (the paper's future-work "shared risk between multiple ISPs").
+func SharedRisk(a, b *Network, model *HazardModel, radiusMiles float64) SharedRiskResult {
+	return interdomain.SharedRisk(a, b, model, radiusMiles)
+}
+
+// SharedRiskMatrix scores every unordered network pair, sorted by
+// descending normalized overlap.
+func SharedRiskMatrix(nets []*Network, model *HazardModel, radiusMiles float64) ([]SharedRiskResult, error) {
+	return interdomain.SharedRiskMatrix(nets, model, radiusMiles)
+}
+
+// Protection and weight-export types (the paper's Section 3 integrations).
+type (
+	// BackupRoute is one failure case's protection path.
+	BackupRoute = core.BackupRoute
+	// OSPFExport is a composite link-weight configuration.
+	OSPFExport = core.OSPFExport
+	// OSPFWeight is one exported link weight.
+	OSPFWeight = core.OSPFWeight
+	// OutageImpact summarizes a simulated multi-PoP failure.
+	OutageImpact = core.OutageImpact
+	// ForwardingEntry is one destination's next hop + loop-free alternate
+	// (RFC 5714 IP Fast Reroute state priced by RiskRoute).
+	ForwardingEntry = core.ForwardingEntry
+)
+
+// Routing types.
+type (
+	// Params are the bit-risk tuning parameters λ_h and λ_f.
+	Params = risk.Params
+	// Context binds a network to its risk, forecast, and impact data.
+	Context = risk.Context
+	// Engine answers RiskRoute queries.
+	Engine = core.Engine
+	// Options tune the engine.
+	Options = core.Options
+	// Ratios aggregates the risk-reduction and distance-increase ratios.
+	Ratios = core.Ratios
+	// PairResult describes one routed pair.
+	PairResult = core.PairResult
+	// Candidate is a scored candidate link of the robustness analysis.
+	Candidate = core.Candidate
+	// Addition is one step of the greedy link-addition sweep.
+	Addition = core.Addition
+)
+
+// PaperParams returns the paper's tuning parameters (λ_h = 10⁵, λ_f = 10³).
+func PaperParams() Params { return risk.PaperParams() }
+
+// NewEngine validates the context and builds a routing engine.
+func NewEngine(ctx *Context, opts Options) (*Engine, error) { return core.New(ctx, opts) }
+
+// Forecast types.
+type (
+	// Advisory is one parsed NHC public advisory.
+	Advisory = forecast.Advisory
+	// ForecastModel maps advisories to forecasted outage risk o_f.
+	ForecastModel = forecast.RiskModel
+	// Replay is a storm's parsed advisory sequence.
+	Replay = forecast.Replay
+	// StormScope is a storm's cumulative wind-field footprint.
+	StormScope = forecast.Scope
+	// BestTrack is an embedded hurricane track.
+	BestTrack = datasets.BestTrack
+)
+
+// ScopeMembership classifies a point against a storm's cumulative scope.
+type ScopeMembership = forecast.Membership
+
+// Scope membership values.
+const (
+	OutsideScope        = forecast.Outside
+	TropicalForceScope  = forecast.TropicalForce
+	HurricaneForceScope = forecast.HurricaneForce
+)
+
+// DefaultForecastModel returns the paper's ρ_t = 50, ρ_h = 100.
+func DefaultForecastModel() ForecastModel { return forecast.DefaultRiskModel() }
+
+// ParseAdvisory extracts storm state from NHC advisory text.
+func ParseAdvisory(text string) (*Advisory, error) { return forecast.ParseAdvisory(text) }
+
+// Hurricanes lists the embedded storms: Irene, Katrina, Sandy.
+func Hurricanes() []BestTrack { return append([]BestTrack(nil), datasets.Hurricanes...) }
+
+// HurricaneByName returns an embedded storm track, or nil.
+func HurricaneByName(name string) *BestTrack { return datasets.HurricaneByName(name) }
+
+// LoadHurricaneReplay generates the storm's advisory text corpus and parses
+// it back, exercising the full NLP path.
+func LoadHurricaneReplay(track *BestTrack) (*Replay, error) { return forecast.LoadReplay(track) }
+
+// AdvisoryCorpus renders a storm's advisory bulletins as text.
+func AdvisoryCorpus(track *BestTrack) []string { return forecast.GenerateCorpus(track) }
+
+// ScopeOf collects a replay's cumulative wind-field scope.
+func ScopeOf(r *Replay) *StormScope { return forecast.ScopeOf(r) }
+
+// Interdomain types.
+type (
+	// Composite is a multi-network routing graph joined at peering points.
+	Composite = interdomain.Composite
+	// InterdomainAnalysis wires a composite to the routing engine.
+	InterdomainAnalysis = interdomain.Analysis
+	// PeeringChoice scores one candidate peer.
+	PeeringChoice = interdomain.PeeringChoice
+)
+
+// BuildComposite merges networks, joining co-located PoPs of peered pairs.
+func BuildComposite(nets []*Network, peered func(a, b string) bool) (*Composite, error) {
+	return interdomain.Build(nets, peered)
+}
+
+// NewInterdomainAnalysis builds the interdomain risk context and engine.
+func NewInterdomainAnalysis(comp *Composite, model *HazardModel, census *Census,
+	fc []float64, params Params, opts Options) (*InterdomainAnalysis, error) {
+	return interdomain.NewAnalysis(comp, model, census, fc, params, opts)
+}
+
+// CandidatePeers lists co-located, unpeered networks for a target network.
+func CandidatePeers(nets []*Network, name string, peered func(a, b string) bool) []string {
+	return interdomain.CandidatePeers(nets, name, peered)
+}
+
+// BestNewPeering scores every candidate peer by the interdomain lower-bound
+// bit-risk objective (the paper's Figure 11 analysis).
+func BestNewPeering(nets []*Network, peered func(a, b string) bool, name string,
+	destNetworks []string, model *HazardModel, census *Census,
+	params Params, opts Options) ([]PeeringChoice, error) {
+	return interdomain.BestNewPeering(nets, peered, name, destNetworks, model, census, params, opts)
+}
+
+// Experiments (paper reproduction harness).
+type (
+	// Lab is the shared experimental world regenerating the paper's tables
+	// and figures.
+	Lab = experiments.Lab
+	// LabConfig scales the experiment world.
+	LabConfig = experiments.Config
+)
+
+// NewLab generates the experiment world (zero config = paper scale).
+func NewLab(cfg LabConfig) (*Lab, error) { return experiments.NewLab(cfg) }

@@ -1,0 +1,242 @@
+package riskroute_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"riskroute"
+)
+
+// world builds a reduced-scale public-API world shared by the facade tests.
+func world(t *testing.T) (*riskroute.HazardModel, *riskroute.Census) {
+	t.Helper()
+	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(0.05, 1),
+		riskroute.HazardFitConfig{CellMiles: 35})
+	if err != nil {
+		t.Fatalf("FitHazard: %v", err)
+	}
+	return model, riskroute.SyntheticCensus(4000, 1)
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	model, census := world(t)
+
+	net := riskroute.BuiltinNetwork("Level3")
+	if net == nil {
+		t.Fatal("Level3 missing")
+	}
+	asg, err := riskroute.AssignPopulation(census, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &riskroute.Context{
+		Net:       net,
+		Hist:      model.PoPRisks(net),
+		Fractions: asg.Fractions,
+		Params:    riskroute.PaperParams(),
+	}
+	engine, err := riskroute.NewEngine(ctx, riskroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := net.PoPIndex("Houston"), net.PoPIndex("Boston")
+	rr := engine.RiskRoutePair(from, to)
+	sp := engine.ShortestPair(from, to)
+	if rr.BitRiskMiles > sp.BitRiskMiles+1e-6 {
+		t.Errorf("RiskRoute bit-risk %v exceeds shortest-path %v", rr.BitRiskMiles, sp.BitRiskMiles)
+	}
+	if rr.Miles < sp.Miles-1e-6 {
+		t.Errorf("RiskRoute %v mi shorter than shortest path %v mi", rr.Miles, sp.Miles)
+	}
+	ratios := engine.Evaluate()
+	if ratios.RiskReduction <= 0 {
+		t.Errorf("risk reduction = %v, want > 0 at paper params", ratios.RiskReduction)
+	}
+}
+
+func TestPublicBuiltinCorpus(t *testing.T) {
+	nets := riskroute.BuiltinNetworks()
+	if len(nets) != 23 {
+		t.Fatalf("%d networks", len(nets))
+	}
+	if len(riskroute.BuiltinTier1()) != 7 || len(riskroute.BuiltinRegional()) != 16 {
+		t.Error("tier split wrong")
+	}
+	if !riskroute.BuiltinPeered("Level3", "AT&T") {
+		t.Error("Level3-AT&T should be peered")
+	}
+	if len(riskroute.BuiltinPeers("Telepak")) == 0 {
+		t.Error("Telepak has no peers")
+	}
+	if riskroute.BuiltinNetwork("nope") != nil {
+		t.Error("unknown network should be nil")
+	}
+}
+
+func TestPublicTopologyRoundTrip(t *testing.T) {
+	nets := []*riskroute.Network{riskroute.BuiltinNetwork("Abilene")}
+	var buf bytes.Buffer
+	if err := riskroute.WriteTopology(&buf, nets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := riskroute.ParseTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].PoPs) != 11 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	var gml bytes.Buffer
+	if err := riskroute.WriteGraphML(&gml, nets[0]); err != nil {
+		t.Fatal(err)
+	}
+	g, err := riskroute.ParseGraphML(&gml, "Abilene", riskroute.Regional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.PoPs) != 11 {
+		t.Fatalf("graphml round trip lost PoPs: %d", len(g.PoPs))
+	}
+}
+
+func TestPublicDistance(t *testing.T) {
+	nyc := riskroute.Point{Lat: 40.71, Lon: -74.01}
+	la := riskroute.Point{Lat: 34.05, Lon: -118.24}
+	d := riskroute.Distance(nyc, la)
+	if d < 2400 || d > 2500 {
+		t.Errorf("NYC-LA = %v miles", d)
+	}
+	if !riskroute.ContinentalUS.Contains(nyc) {
+		t.Error("NYC should be inside the continental US box")
+	}
+}
+
+func TestPublicForecastPipeline(t *testing.T) {
+	tracks := riskroute.Hurricanes()
+	if len(tracks) != 3 {
+		t.Fatalf("%d storms", len(tracks))
+	}
+	sandy := riskroute.HurricaneByName("Sandy")
+	if sandy == nil {
+		t.Fatal("Sandy missing")
+	}
+	corpus := riskroute.AdvisoryCorpus(sandy)
+	if len(corpus) != 60 {
+		t.Errorf("Sandy corpus = %d advisories, want 60", len(corpus))
+	}
+	a, err := riskroute.ParseAdvisory(corpus[len(corpus)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Storm != "SANDY" {
+		t.Errorf("storm = %q", a.Storm)
+	}
+	replay, err := riskroute.LoadHurricaneReplay(sandy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := riskroute.ScopeOf(replay)
+	net := riskroute.BuiltinNetwork("Level3")
+	h, trop := scope.PoPsInScope(net)
+	if h == 0 || trop < h {
+		t.Errorf("Sandy scope on Level3: %d hurricane, %d tropical", h, trop)
+	}
+	rm := riskroute.DefaultForecastModel()
+	if rm.RhoHurricane != 100 || rm.RhoTropical != 50 {
+		t.Errorf("forecast model = %+v", rm)
+	}
+}
+
+func TestPublicInterdomain(t *testing.T) {
+	model, census := world(t)
+	nets := riskroute.BuiltinNetworks()
+	comp, err := riskroute.BuildComposite(nets, riskroute.BuiltinPeered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Flat.PoPs) != 354+455 {
+		t.Errorf("composite has %d PoPs", len(comp.Flat.PoPs))
+	}
+	an, err := riskroute.NewInterdomainAnalysis(comp, model, census, nil,
+		riskroute.PaperParams(), riskroute.Options{AlphaBuckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := an.RegionalRatios("Digex", []string{"Digex", "Hibernia", "Gridnet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs == 0 {
+		t.Error("no interdomain pairs evaluated")
+	}
+	cands := riskroute.CandidatePeers(nets, "Telepak", riskroute.BuiltinPeered)
+	if len(cands) == 0 {
+		t.Error("Telepak should have candidate peers")
+	}
+	for _, c := range cands {
+		if riskroute.BuiltinPeered("Telepak", c) {
+			t.Errorf("candidate %s already peered", c)
+		}
+	}
+}
+
+func TestPublicProvisioning(t *testing.T) {
+	model, census := world(t)
+	net := riskroute.BuiltinNetwork("Tinet")
+	asg, err := riskroute.AssignPopulation(census, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &riskroute.Context{
+		Net:       net,
+		Hist:      model.PoPRisks(net),
+		Fractions: asg.Fractions,
+		Params:    riskroute.Params{LambdaH: 1e5},
+	}
+	engine, err := riskroute.NewEngine(ctx, riskroute.Options{AlphaBuckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := engine.BestAdditionalLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Link.A == best.Link.B {
+		t.Error("degenerate link")
+	}
+	if net.HasLink(best.Link.A, best.Link.B) {
+		t.Error("suggested link already exists")
+	}
+}
+
+func TestPublicLab(t *testing.T) {
+	lab, err := riskroute.NewLab(riskroute.LabConfig{
+		CensusBlocks:        4000,
+		EventScale:          0.02,
+		MaxEventsPerCatalog: 1000,
+		CellMiles:           40,
+		AlphaBuckets:        6,
+		ReplayStride:        30,
+		CVCandidates:        4,
+		CVMaxEvents:         200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lab.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Errorf("Table2 rows = %d", len(r.Rows))
+	}
+	names := make([]string, 0, 7)
+	for _, row := range r.Rows {
+		names = append(names, row.Network)
+	}
+	if !strings.Contains(strings.Join(names, ","), "Level3") {
+		t.Error("Table2 missing Level3")
+	}
+}
