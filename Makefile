@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: tier1 tier2 fuzz-smoke
+
+# tier1 is the gate every change must keep green: full build + test suite.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# tier2 adds static analysis, the race detector, and short fuzz smokes over
+# the input parsers (the corrupt-input seed corpora run even at -fuzztime=0,
+# so regressions in rejected-input handling surface here first).
+tier2: tier1
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/topology
+	$(GO) test -run='^$$' -fuzz='^FuzzParseGraphML$$' -fuzztime=5s ./internal/topology
+	$(GO) test -run='^$$' -fuzz='^FuzzParseAdvisory$$' -fuzztime=5s ./internal/forecast

@@ -61,6 +61,8 @@ func main() {
 		err = cmdExport(args)
 	case "networks":
 		err = cmdNetworks(args)
+	case "check":
+		err = cmdCheck(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -93,6 +95,7 @@ Commands:
   season     per-season risk and routing behaviour
   export     dump embedded topologies (native text or GraphML)
   networks   list the embedded networks
+  check      diagnose inputs and report degraded-mode pipeline health
 
 Run 'riskroute <command> -h' for command flags.
 `)

@@ -250,6 +250,49 @@ func TestCLIExportRoundTrip(t *testing.T) {
 	runExpectError(t, "export", "-format", "graphml") // needs -network
 }
 
+func TestCLICheckStorm(t *testing.T) {
+	out := run(t, "check", "-storm", "Sandy", "-corrupt-rate", "0.3", "-fault-seed", "7")
+	for _, want := range []string{"carried forward", "pipeline health: DEGRADED", "degraded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check -storm output missing %q:\n%s", want, out)
+		}
+	}
+	// Same seed, same faults: the report is reproducible verbatim.
+	if again := run(t, "check", "-storm", "Sandy", "-corrupt-rate", "0.3", "-fault-seed", "7"); again != out {
+		t.Error("check -storm output not deterministic for a fixed fault seed")
+	}
+}
+
+func TestCLICheckTopology(t *testing.T) {
+	topo := `network|Part|tier1
+pop|A|9x.1|-90.07|LA
+pop|B|32.30|-90.18|MS
+pop|C|35.15|-90.05|TN
+link|B|C
+`
+	path := filepath.Join(t.TempDir(), "part.topo")
+	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "check", "-topology", path)
+	if !strings.Contains(out, "1 networks survive") || !strings.Contains(out, "skipped line 2") {
+		t.Errorf("lenient check output:\n%s", out)
+	}
+	out = runExpectError(t, "check", "-topology", path, "-strict")
+	if !strings.Contains(out, "line 2") || !strings.Contains(out, "bad latitude") {
+		t.Errorf("strict check error:\n%s", out)
+	}
+}
+
+func TestCLICheckPipeline(t *testing.T) {
+	out := run(t, append([]string{"check", "-network", "Abilene", "-drop-layer", "1"}, tiny...)...)
+	for _, want := range []string{"4 hazard layers fitted", "re-normalized by 1.25", "dropped layer", "risk reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pipeline check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLISpanRisk(t *testing.T) {
 	out := run(t, append([]string{"route", "-network", "Sprint", "-from", "Seattle", "-to", "Miami", "-span-risk"}, tiny...)...)
 	if !strings.Contains(out, "risk reduction") {

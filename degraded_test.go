@@ -1,0 +1,167 @@
+package riskroute_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"riskroute"
+)
+
+// degradedWorld fits the five-layer hazard model leniently with one layer
+// knocked out by an injected fault.
+func degradedWorld(t *testing.T, dropLayer uint64) (*riskroute.HazardModel, *riskroute.PipelineHealth) {
+	t.Helper()
+	inj := riskroute.NewInjector(1).
+		EnableKeys(riskroute.InjectKDEFit, riskroute.FaultForceError, dropLayer)
+	health := riskroute.NewPipelineHealth()
+	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(0.03, 1),
+		riskroute.HazardFitConfig{CellMiles: 60, Lenient: true, Injector: inj, Health: health})
+	if err != nil {
+		t.Fatalf("lenient FitHazard: %v", err)
+	}
+	return model, health
+}
+
+// TestDegradedHazardLayersAcceptance is the issue's first acceptance test:
+// with any one of the five hazard layers failed, the engine still returns
+// valid routes, and the loss is reflected in the PipelineHealth report.
+func TestDegradedHazardLayersAcceptance(t *testing.T) {
+	net := riskroute.BuiltinNetwork("Abilene")
+	if net == nil {
+		t.Fatal("Abilene missing")
+	}
+	census := riskroute.SyntheticCensus(4000, 1)
+	asg, err := riskroute.AssignPopulation(census, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := 0, len(net.PoPs)-1
+
+	for layer := uint64(0); layer < 5; layer++ {
+		model, health := degradedWorld(t, layer)
+		if len(model.Sources) != 4 || len(model.Lost) != 1 {
+			t.Fatalf("layer %d: fitted %d sources, lost %v", layer, len(model.Sources), model.Lost)
+		}
+		ctx := &riskroute.Context{
+			Net:       net,
+			Hist:      model.PoPRisks(net),
+			Fractions: asg.Fractions,
+			Params:    riskroute.PaperParams(),
+		}
+		engine, err := riskroute.NewEngine(ctx, riskroute.Options{Health: health})
+		if err != nil {
+			t.Fatalf("layer %d: NewEngine: %v", layer, err)
+		}
+		rr := engine.RiskRoutePair(from, to)
+		if rr.Path == nil || math.IsInf(rr.BitRiskMiles, 1) || math.IsNaN(rr.BitRiskMiles) {
+			t.Fatalf("layer %d: degraded engine returned invalid route %+v", layer, rr)
+		}
+		if rr.Path[0] != from || rr.Path[len(rr.Path)-1] != to {
+			t.Fatalf("layer %d: route endpoints %v", layer, rr.Path)
+		}
+		r := engine.Evaluate()
+		if r.Pairs != len(net.PoPs)*(len(net.PoPs)-1) {
+			t.Errorf("layer %d: evaluated %d pairs, want all", layer, r.Pairs)
+		}
+
+		// The loss must be visible in the health report.
+		if !health.Degraded() {
+			t.Errorf("layer %d: loss not reflected in PipelineHealth", layer)
+		}
+		lost := health.Lost("hazard")
+		if len(lost) == 0 || !strings.Contains(strings.Join(lost, "\n"), model.Lost[0]) {
+			t.Errorf("layer %d: health does not name lost layer %q: %v", layer, model.Lost[0], lost)
+		}
+		if err := health.Err(); !errors.Is(err, riskroute.ErrDegraded) {
+			t.Errorf("layer %d: health.Err() = %v, want ErrDegraded", layer, err)
+		}
+	}
+}
+
+// TestDegradedReplayAcceptance is the issue's second acceptance test: a Sandy
+// replay over a 30%-corrupted advisory corpus completes with carried-forward
+// storm state.
+func TestDegradedReplayAcceptance(t *testing.T) {
+	track := riskroute.HurricaneByName("Sandy")
+	texts := riskroute.AdvisoryCorpus(track)
+	inj := riskroute.NewInjector(7).
+		Enable(riskroute.InjectAdvisoryParse, riskroute.FaultCorrupt, 0.3)
+	replay, health, err := riskroute.CheckAdvisoryCorpus("Sandy", texts, inj)
+	if err != nil {
+		t.Fatalf("corrupted replay did not complete: %v", err)
+	}
+	if replay.CarriedCount() == 0 {
+		t.Fatal("30% corruption produced no carried-forward advisories")
+	}
+	// Leading corrupt advisories are skipped (nothing to carry), so the
+	// sequence may start past 1 — but it must stay consecutive.
+	first := replay.Advisories[0].Number
+	for i, a := range replay.Advisories {
+		if a.Number != first+i {
+			t.Fatalf("advisory %d misnumbered as %d (sequence starts at %d)", i, a.Number, first)
+		}
+		if !a.Center.Valid() {
+			t.Fatalf("advisory %d has invalid center %v", i+1, a.Center)
+		}
+	}
+	// A carried advisory holds the last-known state.
+	for i := 1; i < len(replay.Advisories); i++ {
+		if replay.Advisories[i].Carried && replay.Advisories[i].Center != replay.Advisories[i-1].Center {
+			t.Errorf("carried advisory %d does not hold prior center", i+1)
+		}
+	}
+	if !health.Degraded() {
+		t.Error("corruption not reflected in PipelineHealth")
+	}
+
+	// The degraded replay still drives the forecast model end to end.
+	scope := riskroute.ScopeOf(replay)
+	net := riskroute.BuiltinNetwork("Level3")
+	if h, tr := scope.PoPsInScope(net); tr == 0 || h > tr {
+		t.Errorf("degraded Sandy scope implausible: %d hurricane, %d tropical", h, tr)
+	}
+}
+
+// TestDegradedTopologyAcceptance: a lenient parse keeps a fragmented network
+// and the engine routes within components, reporting the unreachable pairs.
+func TestDegradedTopologyAcceptance(t *testing.T) {
+	const topo = `network|Split|tier1
+pop|A|29.95|-90.07|LA
+pop|B|32.30|-90.18|MS
+pop|C|40.71|-74.00|NY
+pop|D|42.36|-71.06|MA
+link|A|B
+link|C|D
+`
+	health := riskroute.NewPipelineHealth()
+	nets, err := riskroute.ParseTopologyLenient(strings.NewReader(topo), nil, health)
+	if err != nil || len(nets) != 1 {
+		t.Fatalf("lenient parse: %v (%d networks)", err, len(nets))
+	}
+	net := nets[0]
+	ctx := &riskroute.Context{
+		Net:       net,
+		Hist:      []float64{1, 1, 1, 1},
+		Fractions: []float64{0.25, 0.25, 0.25, 0.25},
+		Params:    riskroute.PaperParams(),
+	}
+	engine, err := riskroute.NewEngine(ctx, riskroute.Options{Health: health})
+	if err != nil {
+		t.Fatalf("NewEngine on fragmented topology: %v", err)
+	}
+	if engine.Components() != 2 || engine.UnreachablePairs() != 4 {
+		t.Errorf("components = %d, unreachable = %d; want 2 and 4",
+			engine.Components(), engine.UnreachablePairs())
+	}
+	if rr := engine.RiskRoutePair(0, 1); rr.Path == nil {
+		t.Error("intra-component pair should route")
+	}
+	if rr := engine.RiskRoutePair(0, 2); !math.IsInf(rr.BitRiskMiles, 1) {
+		t.Error("cross-component pair should be unreachable")
+	}
+	if !health.Degraded() {
+		t.Error("fragmentation not reflected in PipelineHealth")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"riskroute/internal/resilience"
+)
+
+// TestEngineDisconnectedTopology cuts a 3×4 lattice into a 3-PoP column and
+// a 9-PoP block and checks the engine routes within components, skips the
+// split pairs, and reports the fragmentation.
+func TestEngineDisconnectedTopology(t *testing.T) {
+	ctx := gridNet(3, 4, 9)
+	cols := 4
+	var kept []int
+	for li, l := range ctx.Net.Links {
+		if (l.A%cols == 0) != (l.B%cols == 0) {
+			continue // cut every link crossing out of column 0
+		}
+		kept = append(kept, li)
+	}
+	links := ctx.Net.Links
+	ctx.Net.Links = ctx.Net.Links[:0]
+	for _, li := range kept {
+		ctx.Net.Links = append(ctx.Net.Links, links[li])
+	}
+
+	h := resilience.NewHealth()
+	e := mustEngine(t, ctx, Options{Health: h})
+	if e.Components() != 2 {
+		t.Fatalf("Components = %d, want 2", e.Components())
+	}
+	// 12 PoPs → 66 unordered pairs; 3-PoP column has 3, 9-PoP block has 36.
+	if got, want := e.UnreachablePairs(), 66-3-36; got != want {
+		t.Errorf("UnreachablePairs = %d, want %d", got, want)
+	}
+	if !h.Degraded() {
+		t.Error("fragmentation not recorded in health")
+	}
+
+	// Routing still works within a component...
+	rr := e.RiskRoutePair(1, 11)
+	if rr.Path == nil || math.IsInf(rr.BitRiskMiles, 1) {
+		t.Error("intra-component pair should route")
+	}
+	// ...and cross-component pairs report unreachable, not garbage.
+	if cross := e.RiskRoutePair(0, 1); cross.Path != nil || !math.IsInf(cross.BitRiskMiles, 1) {
+		t.Errorf("cross-component pair returned %+v, want unreachable", cross)
+	}
+
+	// The aggregate evaluation covers exactly the reachable ordered pairs.
+	r := e.Evaluate()
+	if want := 2 * (3 + 36); r.Pairs != want {
+		t.Errorf("Evaluate aggregated %d pairs, want %d", r.Pairs, want)
+	}
+	if r.RiskReduction < 0 || math.IsNaN(r.RiskReduction) {
+		t.Errorf("RiskReduction = %v on fragmented topology", r.RiskReduction)
+	}
+}
+
+func TestEngineBuildInjectedFault(t *testing.T) {
+	inj := resilience.NewInjector(3).
+		EnableKeys(resilience.PointEngineBuild, resilience.ForceError, 0)
+	_, err := New(gridNet(3, 3, 1), Options{Injector: inj})
+	if !errors.Is(err, resilience.ErrInjected) {
+		t.Errorf("New returned %v, want ErrInjected", err)
+	}
+}
+
+// TestSweepSkipDeterministic knocks out one source PoP's Dijkstra sweep and
+// checks the evaluation degrades identically at any worker count.
+func TestSweepSkipDeterministic(t *testing.T) {
+	mk := func(workers int) (Ratios, *resilience.Health) {
+		ctx := gridNet(4, 4, 3)
+		inj := resilience.NewInjector(7).
+			EnableKeys(resilience.PointDijkstraSweep, resilience.ForceError, 5)
+		h := resilience.NewHealth()
+		e := mustEngine(t, ctx, Options{Workers: workers, Injector: inj, Health: h})
+		return e.Evaluate(), h
+	}
+	whole := mustEngine(t, gridNet(4, 4, 3), Options{}).Evaluate()
+
+	seq, hSeq := mk(1)
+	par, hPar := mk(4)
+	if seq != par {
+		t.Errorf("sweep-skip evaluation differs by worker count: %+v vs %+v", seq, par)
+	}
+	if want := whole.Pairs - 15; seq.Pairs != want {
+		t.Errorf("faulted evaluation aggregated %d pairs, want %d", seq.Pairs, want)
+	}
+	if !hSeq.Degraded() || !hPar.Degraded() {
+		t.Error("sweep skip not recorded in health")
+	}
+	if lost := hSeq.Lost("engine"); len(lost) != 1 {
+		t.Errorf("health lost %v, want one engine degradation", lost)
+	}
+}
+
+// TestTotalBitRiskSweepSkip checks the robustness objective also degrades
+// deterministically under a sweep fault.
+func TestTotalBitRiskSweepSkip(t *testing.T) {
+	ctx := gridNet(3, 4, 5)
+	whole := mustEngine(t, ctx, Options{}).TotalBitRisk()
+
+	inj := resilience.NewInjector(7).
+		EnableKeys(resilience.PointDijkstraSweep, resilience.ForceError, 2)
+	e := mustEngine(t, gridNet(3, 4, 5), Options{Injector: inj})
+	faulted := e.TotalBitRisk()
+	if !(faulted < whole) || faulted <= 0 {
+		t.Errorf("faulted total %v, whole %v: want 0 < faulted < whole", faulted, whole)
+	}
+	again := e.TotalBitRisk()
+	if faulted != again {
+		t.Errorf("faulted total not deterministic: %v vs %v", faulted, again)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"riskroute/internal/graph"
+	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
 	"riskroute/internal/topology"
 )
@@ -44,6 +45,13 @@ type Options struct {
 	// sequential execution. Results are identical at any worker count: each
 	// source's partial sums are reduced in source order.
 	Workers int
+	// Injector, when non-nil, is consulted at PointEngineBuild (key 0) and
+	// at PointDijkstraSweep keyed by source PoP index: a faulted source's
+	// sweep is skipped and recorded rather than aborting the evaluation.
+	Injector *resilience.Injector
+	// Health receives build checkpoints (component count, unreachable
+	// pairs on fragmented topologies) and sweep degradations.
+	Health *resilience.Health
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +71,9 @@ type Engine struct {
 
 	dist *graph.Graph // pure bit-mile graph
 
+	components  int // connected components of the topology (1 when whole)
+	unreachable int // unordered PoP pairs split across components
+
 	alphaLo, alphaHi float64
 	logBuckets       bool           // log-spaced quantization for skewed α
 	buckets          []float64      // representative α per bucket
@@ -71,6 +82,9 @@ type Engine struct {
 
 // New builds an engine after validating the context.
 func New(ctx *risk.Context, opts Options) (*Engine, error) {
+	if err := opts.Injector.ForcedError(resilience.PointEngineBuild, 0); err != nil {
+		return nil, err
+	}
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,6 +131,27 @@ func New(ctx *risk.Context, opts Options) (*Engine, error) {
 		alphaLo: alphaLo,
 		alphaHi: alphaHi,
 	}
+
+	// Fragmented topologies (a lenient parse can keep them) still route
+	// within each component; cross-component pairs are unreachable and the
+	// evaluations skip them. Surface the fact rather than failing the build.
+	comps := ctx.Net.Graph().Components()
+	e.components = len(comps)
+	if e.components > 1 {
+		n := len(ctx.Net.PoPs)
+		reachable := 0
+		for _, c := range comps {
+			reachable += len(c) * (len(c) - 1) / 2
+		}
+		e.unreachable = n*(n-1)/2 - reachable
+		opts.Health.Degrade("engine", nil,
+			"network %q has %d components: %d of %d PoP pairs unreachable",
+			ctx.Net.Name, e.components, e.unreachable, n*(n-1)/2)
+	} else {
+		opts.Health.Record("engine", "built over %d PoPs, %d links",
+			len(ctx.Net.PoPs), len(ctx.Net.Links))
+	}
+
 	k := opts.AlphaBuckets
 	if e.alphaHi <= e.alphaLo {
 		k = 1 // all pairs share one α
@@ -143,6 +178,25 @@ func New(ctx *risk.Context, opts Options) (*Engine, error) {
 
 // N returns the PoP count.
 func (e *Engine) N() int { return len(e.Ctx.Net.PoPs) }
+
+// Components returns the number of connected components of the topology the
+// engine was built over (1 for a whole network).
+func (e *Engine) Components() int { return e.components }
+
+// UnreachablePairs returns the number of unordered PoP pairs split across
+// components (0 for a whole network). The all-pairs evaluations skip them.
+func (e *Engine) UnreachablePairs() int { return e.unreachable }
+
+// skipSweep reports whether an injected fault knocks out source i's Dijkstra
+// sweep. Evaluations have no error return, so a faulted sweep degrades: the
+// source's pairs drop out of the aggregate and health records the loss.
+func (e *Engine) skipSweep(i int) bool {
+	if err := e.opts.Injector.Fail(resilience.PointDijkstraSweep, uint64(i)); err != nil {
+		e.opts.Health.Degrade("engine", err, "sweep from PoP %d skipped", i)
+		return true
+	}
+	return false
+}
 
 // bucketOf maps an impact value to its quantization bucket.
 func (e *Engine) bucketOf(alpha float64) int {
@@ -300,6 +354,9 @@ func (e *Engine) evaluateSubset(sources, dests []int) Ratios {
 	partials := parallelMap(len(sources), e.opts.Workers, func(si int) partial {
 		i := sources[si]
 		var p partial
+		if e.skipSweep(i) {
+			return p
+		}
 		distTree := e.dist.Dijkstra(i)
 		sMiles, sEntered := e.treeMetrics(distTree)
 
@@ -398,6 +455,9 @@ func (e *Engine) TotalBitRisk() float64 {
 	n := e.N()
 	e.prebuildBuckets()
 	partials := parallelMap(n, e.opts.Workers, func(i int) float64 {
+		if e.skipSweep(i) {
+			return 0
+		}
 		sub := 0.0
 		sMiles, sEntered := e.treeMetrics(e.dist.Dijkstra(i))
 		byBucket := make(map[int][]int)
@@ -444,6 +504,9 @@ func (e *Engine) TotalBitRiskSubset(sources, dests []int) float64 {
 	seen := make(map[[2]int]bool)
 	total := 0.0
 	for _, i := range sources {
+		if e.skipSweep(i) {
+			continue
+		}
 		sMiles, sEntered := e.treeMetrics(e.dist.Dijkstra(i))
 		byBucket := make(map[int][]int)
 		for j := range inDest {

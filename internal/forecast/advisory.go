@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"riskroute/internal/geo"
+	"riskroute/internal/resilience"
 )
 
 // Advisory is one parsed (or to-be-rendered) public advisory.
@@ -35,6 +36,9 @@ type Advisory struct {
 	TropicalRadiusMi  float64
 	MovementDirDeg    float64
 	MovementSpeedMPH  float64
+	// Carried marks an advisory synthesized by a lenient replay: its state
+	// is the last-known storm state carried forward over a corrupt bulletin.
+	Carried bool
 }
 
 // Classification returns "HURRICANE" or "TROPICAL STORM" by the 74-mph
@@ -127,25 +131,86 @@ var (
 	reTrop   = regexp.MustCompile(`TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO ([\d.]+) MILES`)
 )
 
-// ParseAdvisory extracts the storm state from NHC public-advisory text. It
-// requires the header, timestamp, center, and tropical-storm wind radius;
-// movement, maximum winds, and hurricane-force radius are optional (the
-// radius is absent below hurricane strength).
+// aErr builds a *resilience.ValidationError positioned at the line of text
+// where re matched (0 when unknown).
+func aErr(text string, re *regexp.Regexp, field, format string, args ...any) *resilience.ValidationError {
+	line := 0
+	if loc := re.FindStringIndex(text); loc != nil {
+		line = 1 + strings.Count(text[:loc[0]], "\n")
+	}
+	return resilience.Validationf("advisory", line, field, format, args...)
+}
+
+// advisoryParser accumulates the soft (optional-field) validation failures a
+// lenient parse records instead of aborting on.
+type advisoryParser struct {
+	text    string
+	lenient bool
+	issues  []*resilience.ValidationError
+}
+
+// optionalFloat parses a matched optional numeric field. A malformed value
+// (the regexes admit shapes like "1.2.3" that strconv rejects) aborts a
+// strict parse and is recorded-and-zeroed by a lenient one — never a zero
+// masquerading as data.
+func (p *advisoryParser) optionalFloat(raw string, re *regexp.Regexp, field string) (float64, error) {
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		ve := aErr(p.text, re, field, "bad value %q", raw)
+		if !p.lenient {
+			return 0, ve
+		}
+		p.issues = append(p.issues, ve)
+		return 0, nil
+	}
+	return v, nil
+}
+
+// ParseAdvisory extracts the storm state from NHC public-advisory text,
+// failing closed: any malformed field — including optional ones that matched
+// but do not parse — aborts with a *resilience.ValidationError. It requires
+// the header, timestamp, center, and tropical-storm wind radius; movement,
+// maximum winds, and hurricane-force radius are optional (the radius is
+// absent below hurricane strength).
 func ParseAdvisory(text string) (*Advisory, error) {
+	a, _, err := parseAdvisory(text, false)
+	return a, err
+}
+
+// ParseAdvisoryLenient extracts storm state failing open: malformed optional
+// fields (movement, maximum winds, hurricane radius) are zeroed and returned
+// as recorded degradations instead of aborting. Failures of required fields
+// — header, timestamp, center position, tropical radius — still error, since
+// no usable storm state exists without them; replay-level carry-forward
+// (LoadReplayLenient) handles those.
+func ParseAdvisoryLenient(text string) (*Advisory, []*resilience.ValidationError, error) {
+	return parseAdvisory(text, true)
+}
+
+func parseAdvisory(text string, lenient bool) (*Advisory, []*resilience.ValidationError, error) {
 	a := &Advisory{}
+	p := &advisoryParser{text: text, lenient: lenient}
 
 	if m := reHeader.FindStringSubmatch(text); m != nil {
 		a.Storm = m[1]
-		a.Number, _ = strconv.Atoi(m[2])
+		num, err := strconv.Atoi(m[2])
+		if err != nil { // \d+ can still overflow int
+			ve := aErr(text, reHeader, "advisory number", "bad value %q", m[2])
+			if !lenient {
+				return nil, nil, ve
+			}
+			p.issues = append(p.issues, ve)
+		}
+		a.Number = num
 	} else {
-		return nil, fmt.Errorf("forecast: advisory header not found")
+		return nil, p.issues, fmt.Errorf("forecast: advisory header not found")
 	}
 
 	m := reStamp.FindStringSubmatch(text)
 	if m == nil {
-		return nil, fmt.Errorf("forecast: advisory timestamp not found")
+		return nil, p.issues, fmt.Errorf("forecast: advisory timestamp not found")
 	}
-	clock, _ := strconv.Atoi(m[1])
+	clock, _ := strconv.Atoi(m[1]) // \d{3,4}: cannot fail
 	hour, minute := clock/100, clock%100
 	if m[2] == "PM" && hour != 12 {
 		hour += 12
@@ -156,25 +221,37 @@ func ParseAdvisory(text string) (*Advisory, error) {
 	zone := m[3]
 	off, ok := zoneOffsets[zone]
 	if !ok {
-		return nil, fmt.Errorf("forecast: unknown time zone %q", zone)
+		return nil, p.issues, aErr(text, reStamp, "time zone", "unknown time zone %q", zone)
 	}
 	monthName := strings.ToUpper(m[5][:1]) + strings.ToLower(m[5][1:])
 	month, err := time.Parse("Jan", monthName)
 	if err != nil {
-		return nil, fmt.Errorf("forecast: bad month %q", m[5])
+		return nil, p.issues, aErr(text, reStamp, "month", "bad month %q", m[5])
 	}
-	day, _ := strconv.Atoi(m[6])
-	year, _ := strconv.Atoi(m[7])
+	day, _ := strconv.Atoi(m[6])  // \d{1,2}: cannot fail
+	year, _ := strconv.Atoi(m[7]) // \d{4}: cannot fail
 	loc := time.FixedZone(zone, off*3600)
 	a.Time = time.Date(year, month.Month(), day, hour, minute, 0, 0, loc).UTC()
 	a.Zone = zone
 
 	c := reCenter.FindStringSubmatch(text)
 	if c == nil {
-		return nil, fmt.Errorf("forecast: storm center not found")
+		return nil, p.issues, fmt.Errorf("forecast: storm center not found")
 	}
-	lat, _ := strconv.ParseFloat(c[1], 64)
-	lon, _ := strconv.ParseFloat(c[3], 64)
+	lat, err := strconv.ParseFloat(c[1], 64)
+	if err != nil {
+		return nil, p.issues, aErr(text, reCenter, "latitude", "bad value %q", c[1])
+	}
+	lon, err := strconv.ParseFloat(c[3], 64)
+	if err != nil {
+		return nil, p.issues, aErr(text, reCenter, "longitude", "bad value %q", c[3])
+	}
+	if lat > 90 {
+		return nil, p.issues, aErr(text, reCenter, "latitude", "%q outside [0, 90]", c[1])
+	}
+	if lon > 180 {
+		return nil, p.issues, aErr(text, reCenter, "longitude", "%q outside [0, 180]", c[3])
+	}
 	if c[2] == "SOUTH" {
 		lat = -lat
 	}
@@ -185,25 +262,33 @@ func ParseAdvisory(text string) (*Advisory, error) {
 
 	if mv := reMoving.FindStringSubmatch(text); mv != nil {
 		a.MovementDirDeg = compassDegrees(mv[1])
-		a.MovementSpeedMPH, _ = strconv.ParseFloat(mv[2], 64)
+		if a.MovementSpeedMPH, err = p.optionalFloat(mv[2], reMoving, "movement speed"); err != nil {
+			return nil, nil, err
+		}
 	}
 	if w := reMaxW.FindStringSubmatch(text); w != nil {
-		a.MaxWindMPH, _ = strconv.ParseFloat(w[1], 64)
+		if a.MaxWindMPH, err = p.optionalFloat(w[1], reMaxW, "maximum winds"); err != nil {
+			return nil, nil, err
+		}
 	}
 	if h := reHurr.FindStringSubmatch(text); h != nil {
-		a.HurricaneRadiusMi, _ = strconv.ParseFloat(h[1], 64)
+		if a.HurricaneRadiusMi, err = p.optionalFloat(h[1], reHurr, "hurricane radius"); err != nil {
+			return nil, nil, err
+		}
 	}
 	t := reTrop.FindStringSubmatch(text)
 	if t == nil {
-		return nil, fmt.Errorf("forecast: tropical-storm wind radius not found")
+		return nil, p.issues, fmt.Errorf("forecast: tropical-storm wind radius not found")
 	}
-	a.TropicalRadiusMi, _ = strconv.ParseFloat(t[1], 64)
+	if a.TropicalRadiusMi, err = strconv.ParseFloat(t[1], 64); err != nil {
+		return nil, p.issues, aErr(text, reTrop, "tropical radius", "bad value %q", t[1])
+	}
 
 	if a.TropicalRadiusMi < a.HurricaneRadiusMi {
-		return nil, fmt.Errorf("forecast: tropical radius %.0f < hurricane radius %.0f",
-			a.TropicalRadiusMi, a.HurricaneRadiusMi)
+		return nil, p.issues, aErr(text, reTrop, "wind radii",
+			"tropical radius %.0f < hurricane radius %.0f", a.TropicalRadiusMi, a.HurricaneRadiusMi)
 	}
-	return a, nil
+	return a, p.issues, nil
 }
 
 // compassDegrees inverts CompassName; unknown names return 0.

@@ -1,0 +1,170 @@
+package forecast
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"riskroute/internal/datasets"
+	"riskroute/internal/resilience"
+)
+
+// goodAdvisory is a minimal well-formed bulletin the corruption tests mutate.
+const goodAdvisory = `BULLETIN
+HURRICANE SANDY ADVISORY NUMBER 20
+NWS NATIONAL HURRICANE CENTER MIAMI FL
+500 PM EDT MON OCT 29 2012
+
+...THE CENTER OF HURRICANE SANDY WAS LOCATED NEAR LATITUDE 38.8 NORTH...LONGITUDE 71.1 WEST.
+SANDY IS MOVING TOWARD THE NORTH-NORTHWEST NEAR 28 MPH...45 KM/H.
+MAXIMUM SUSTAINED WINDS ARE NEAR 90 MPH...145 KM/H...WITH HIGHER GUSTS.
+HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO 175 MILES...282 KM...FROM THE CENTER...AND TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 485 MILES...781 KM...
+`
+
+// TestParseAdvisoryCorruptInputs drives each strict-mode ValidationError
+// path of the NLP parser: fields that match the extraction regexes but fail
+// strconv must abort, never become zeros masquerading as data.
+func TestParseAdvisoryCorruptInputs(t *testing.T) {
+	mutate := func(old, new string) string {
+		s := strings.Replace(goodAdvisory, old, new, 1)
+		if s == goodAdvisory {
+			t.Fatalf("mutation %q -> %q did not apply", old, new)
+		}
+		return s
+	}
+	tests := []struct {
+		name      string
+		input     string
+		wantField string
+	}{
+		{"bad latitude", mutate("LATITUDE 38.8", "LATITUDE 38.8.8"), "latitude"},
+		{"bad longitude", mutate("LONGITUDE 71.1", "LONGITUDE 7.1.1"), "longitude"},
+		{"latitude out of range", mutate("LATITUDE 38.8", "LATITUDE 98.8"), "latitude"},
+		{"longitude out of range", mutate("LONGITUDE 71.1", "LONGITUDE 271.1"), "longitude"},
+		{"bad movement speed", mutate("NEAR 28 MPH", "NEAR 2.8.1 MPH"), "movement speed"},
+		{"bad maximum winds", mutate("WINDS ARE NEAR 90 MPH", "WINDS ARE NEAR 9.0.0 MPH"), "maximum winds"},
+		{"bad hurricane radius", mutate("UP TO 175 MILES", "UP TO 1.7.5 MILES"), "hurricane radius"},
+		{"bad tropical radius", mutate("UP TO 485 MILES", "UP TO 4.8.5 MILES"), "tropical radius"},
+		{"inverted radii", mutate("UP TO 485 MILES", "UP TO 120 MILES"), "wind radii"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseAdvisory(tt.input)
+			if err == nil {
+				t.Fatal("corrupt advisory accepted")
+			}
+			var ve *resilience.ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %v is not a ValidationError", err)
+			}
+			if ve.Field != tt.wantField {
+				t.Errorf("field = %q, want %q (%v)", ve.Field, tt.wantField, err)
+			}
+			if ve.Source != "advisory" || ve.Line == 0 {
+				t.Errorf("missing position: %+v", ve)
+			}
+		})
+	}
+}
+
+// TestParseAdvisoryLenientZeroesOptional checks lenient parsing records and
+// zeroes malformed optional fields but still errors on required ones.
+func TestParseAdvisoryLenientZeroesOptional(t *testing.T) {
+	text := strings.Replace(goodAdvisory, "WINDS ARE NEAR 90 MPH", "WINDS ARE NEAR 9.0.0 MPH", 1)
+	text = strings.Replace(text, "NEAR 28 MPH", "NEAR 2.8.1 MPH", 1)
+	a, issues, err := ParseAdvisoryLenient(text)
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if a.MaxWindMPH != 0 || a.MovementSpeedMPH != 0 {
+		t.Errorf("malformed optional fields not zeroed: wind=%v speed=%v", a.MaxWindMPH, a.MovementSpeedMPH)
+	}
+	if len(issues) != 2 {
+		t.Errorf("recorded %d issues, want 2: %v", len(issues), issues)
+	}
+	for _, ve := range issues {
+		if !errors.Is(ve, resilience.ErrValidation) {
+			t.Errorf("issue %v does not match ErrValidation", ve)
+		}
+	}
+
+	// Required field still fatal in lenient mode.
+	bad := strings.Replace(goodAdvisory, "LATITUDE 38.8", "LATITUDE 38.8.8", 1)
+	if _, _, err := ParseAdvisoryLenient(bad); err == nil {
+		t.Error("lenient parse accepted corrupt required field")
+	}
+}
+
+// TestParseCorpusLenientCarriesForward corrupts a window of a real storm
+// corpus and checks the replay completes with carried-forward state.
+func TestParseCorpusLenientCarriesForward(t *testing.T) {
+	track := datasets.HurricaneByName("Sandy")
+	texts := GenerateCorpus(track)
+
+	// Knock out advisories 10–12 and 30 by targeted injection.
+	inj := resilience.NewInjector(5).
+		EnableKeys(resilience.PointAdvisoryParse, resilience.Drop, 9, 10, 11).
+		EnableKeys(resilience.PointAdvisoryParse, resilience.Corrupt, 29)
+	h := resilience.NewHealth()
+	r, err := ParseCorpusLenient("Sandy", texts, inj, h)
+	if err != nil {
+		t.Fatalf("ParseCorpusLenient: %v", err)
+	}
+	if len(r.Advisories) != len(texts) {
+		t.Fatalf("replay has %d advisories, want %d", len(r.Advisories), len(texts))
+	}
+	// Corrupt window: Corrupt may or may not break parsing (the mangled
+	// window can miss every numeric field), but the three dropped advisories
+	// must be carried.
+	if got := r.CarriedCount(); got < 3 {
+		t.Errorf("carried %d advisories, want >= 3", got)
+	}
+	for i, a := range r.Advisories {
+		if a.Number != i+1 {
+			t.Fatalf("advisory %d misnumbered as %d", i, a.Number)
+		}
+	}
+	// Advisory 10 (index 9) carries advisory 9's state.
+	if !r.Advisories[9].Carried {
+		t.Error("advisory 10 not marked carried")
+	}
+	if r.Advisories[9].Center != r.Advisories[8].Center {
+		t.Error("carried advisory does not hold previous center")
+	}
+	if !h.Degraded() {
+		t.Error("carry-forward not recorded in health")
+	}
+}
+
+// TestParseCorpusLenientLeadingCorruption checks corrupt bulletins before
+// the first parseable one are skipped, not carried from nothing.
+func TestParseCorpusLenientLeadingCorruption(t *testing.T) {
+	track := datasets.HurricaneByName("Irene")
+	texts := GenerateCorpus(track)
+	inj := resilience.NewInjector(5).
+		EnableKeys(resilience.PointAdvisoryParse, resilience.Drop, 0, 1)
+	h := resilience.NewHealth()
+	r, err := ParseCorpusLenient("Irene", texts, inj, h)
+	if err != nil {
+		t.Fatalf("ParseCorpusLenient: %v", err)
+	}
+	if len(r.Advisories) != len(texts)-2 {
+		t.Errorf("replay has %d advisories, want %d", len(r.Advisories), len(texts)-2)
+	}
+	if r.Advisories[0].Carried {
+		t.Error("first surviving advisory marked carried")
+	}
+	if got := len(h.Lost("replay")); got != 2 {
+		t.Errorf("recorded %d skips, want 2:\n%s", got, h)
+	}
+}
+
+// TestParseCorpusLenientAllCorrupt checks total corpus loss is a
+// DegradedError, not a silent empty replay.
+func TestParseCorpusLenientAllCorrupt(t *testing.T) {
+	inj := resilience.NewInjector(5).Enable(resilience.PointAdvisoryParse, resilience.Drop, 1)
+	_, err := ParseCorpusLenient("Sandy", GenerateCorpus(datasets.HurricaneByName("Sandy")), inj, nil)
+	if !errors.Is(err, resilience.ErrDegraded) {
+		t.Errorf("total loss returned %v, want ErrDegraded", err)
+	}
+}

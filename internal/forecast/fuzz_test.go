@@ -21,6 +21,15 @@ func FuzzParseAdvisory(f *testing.F) {
 	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST.\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
 	f.Add("")
 	f.Add("BULLETIN\nnonsense")
+	// Corrupt-input corpus: regex-matching fields that fail strconv, and
+	// out-of-range centers — the parser's ValidationError paths.
+	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0.1 NORTH...LONGITUDE 80.0 WEST\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 98.0 NORTH...LONGITUDE 80.0 WEST\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0 NORTH...LONGITUDE 270.0 WEST\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST\nX IS MOVING TOWARD THE NORTH NEAR 1.2.3 MPH\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST\nMAXIMUM SUSTAINED WINDS ARE NEAR 9.0.0 MPH\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+	f.Add("HURRICANE X ADVISORY NUMBER 1\n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST\nHURRICANE-FORCE WINDS EXTEND OUTWARD UP TO 1.7.5 MILES\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+	f.Add("HURRICANE X ADVISORY NUMBER 99999999999999999999 \n500 PM EDT MON AUG 01 2011\nLATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
 
 	f.Fuzz(func(t *testing.T, text string) {
 		a, err := ParseAdvisory(text)

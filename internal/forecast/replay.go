@@ -6,6 +6,7 @@ import (
 
 	"riskroute/internal/datasets"
 	"riskroute/internal/geo"
+	"riskroute/internal/resilience"
 	"riskroute/internal/topology"
 )
 
@@ -79,6 +80,84 @@ func LoadReplay(track *datasets.BestTrack) (*Replay, error) {
 		r.Advisories = append(r.Advisories, a)
 	}
 	return r, nil
+}
+
+// ParseCorpusLenient parses an advisory text corpus failing open: a bulletin
+// that cannot be parsed (organically corrupt, or corrupted/truncated/dropped
+// by the injector at PointAdvisoryParse, keyed by corpus index) does not
+// abort the replay — the storm's last-known state is carried forward in its
+// place, marked Carried and renumbered, with the loss recorded in health.
+// Corrupt bulletins before the first parseable one are skipped. It errors
+// only when no bulletin at all yields storm state.
+func ParseCorpusLenient(storm string, texts []string,
+	inj *resilience.Injector, health *resilience.Health) (*Replay, error) {
+
+	r := &Replay{Storm: storm}
+	var last *Advisory
+	parsed, carried := 0, 0
+	for i, text := range texts {
+		key := uint64(i)
+		parseErr := inj.Fail(resilience.PointAdvisoryParse, key)
+		if parseErr == nil {
+			mangled, dropped := inj.Transform(resilience.PointAdvisoryParse, key, text)
+			if dropped {
+				parseErr = &resilience.InjectedError{Point: resilience.PointAdvisoryParse, Key: key}
+			} else {
+				var a *Advisory
+				var issues []*resilience.ValidationError
+				a, issues, parseErr = ParseAdvisoryLenient(mangled)
+				for _, ve := range issues {
+					health.Degrade("replay", ve, "%s advisory %d: %s zeroed", storm, i+1, ve.Field)
+				}
+				if parseErr == nil {
+					parsed++
+					last = a
+					r.Advisories = append(r.Advisories, a)
+					continue
+				}
+			}
+		}
+		if last == nil {
+			health.Degrade("replay", parseErr,
+				"%s advisory %d unusable with no prior state; skipped", storm, i+1)
+			continue
+		}
+		cf := *last
+		cf.Number = i + 1
+		cf.Carried = true
+		carried++
+		r.Advisories = append(r.Advisories, &cf)
+		health.Degrade("replay", parseErr,
+			"%s advisory %d corrupt; carried forward state of advisory %d", storm, i+1, last.Number)
+	}
+	if parsed == 0 {
+		return nil, &resilience.DegradedError{
+			Stage: "replay",
+			Lost:  []string{fmt.Sprintf("all %d advisories of %s", len(texts), storm)},
+			Err:   fmt.Errorf("forecast: no advisory of %s parseable", storm),
+		}
+	}
+	health.Record("replay", "%s: %d/%d advisories parsed, %d carried forward",
+		storm, parsed, len(texts), carried)
+	return r, nil
+}
+
+// LoadReplayLenient generates a storm's advisory corpus and parses it in
+// degraded mode via ParseCorpusLenient.
+func LoadReplayLenient(track *datasets.BestTrack,
+	inj *resilience.Injector, health *resilience.Health) (*Replay, error) {
+	return ParseCorpusLenient(track.Name, GenerateCorpus(track), inj, health)
+}
+
+// CarriedCount returns how many advisories carry forwarded state.
+func (r *Replay) CarriedCount() int {
+	n := 0
+	for _, a := range r.Advisories {
+		if a.Carried {
+			n++
+		}
+	}
+	return n
 }
 
 // RiskModel maps an advisory's wind fields to forecasted outage risk o_f.

@@ -22,6 +22,7 @@ import (
 
 	"riskroute/internal/geo"
 	"riskroute/internal/kde"
+	"riskroute/internal/resilience"
 	"riskroute/internal/topology"
 )
 
@@ -57,6 +58,22 @@ type FittedSource struct {
 // Model is the aggregate historical outage risk surface.
 type Model struct {
 	Sources []FittedSource
+	// Lost names the catalogs a lenient Fit dropped (empty at full fidelity).
+	Lost []string
+	// renorm rescales the aggregate when layers were lost (see Renorm).
+	renorm float64
+}
+
+// Renorm returns the aggregate re-normalization factor: 1 at full fidelity,
+// (fitted+lost)/fitted when a lenient Fit dropped layers — so the surviving
+// surfaces keep the aggregate risk at a magnitude commensurate with the
+// paper's λ calibration and routing keeps trading distance against risk
+// rather than quietly under-weighting it.
+func (m *Model) Renorm() float64 {
+	if m.renorm == 0 {
+		return 1
+	}
+	return m.renorm
 }
 
 // FitConfig controls model fitting.
@@ -71,6 +88,17 @@ type FitConfig struct {
 	// CV configures bandwidth cross-validation for sources with Bandwidth
 	// zero. The zero value uses kde defaults.
 	CV kde.CVConfig
+	// Lenient makes Fit fail open: a source that cannot be fitted (no
+	// events, too few events for cross-validation, negative scale, or an
+	// injected fault) is dropped and recorded instead of aborting the whole
+	// model, and the survivors are re-normalized (see Model.Renorm). At
+	// least one source must fit.
+	Lenient bool
+	// Injector, when non-nil, is consulted at PointKDEFit keyed by source
+	// index.
+	Injector *resilience.Injector
+	// Health receives per-source fit checkpoints and degradations.
+	Health *resilience.Health
 }
 
 func (c FitConfig) withDefaults() FitConfig {
@@ -116,16 +144,44 @@ func gridFor(bounds geo.Bounds, cellMiles, bandwidth float64) geo.Grid {
 
 // Fit resolves bandwidths (by cross-validation where unspecified) and
 // rasterizes each catalog onto a bandwidth-appropriate grid. It panics on an
-// empty source list and returns an error for a source with no events.
+// empty source list. Strict (the default) fails closed: the first source
+// with no events, too few events for cross-validation, or a negative scale
+// aborts. With cfg.Lenient the failing source is dropped, recorded in
+// cfg.Health and Model.Lost, and the surviving layers are re-normalized; an
+// error is returned only when every source fails.
 func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 	if len(sources) == 0 {
 		panic("hazard: Fit with no sources")
 	}
 	cfg = cfg.withDefaults()
 	m := &Model{}
-	for _, s := range sources {
+
+	// fitErr classifies one source's failure before any expensive work.
+	fitErr := func(i int, s Source) error {
+		if err := cfg.Injector.Fail(resilience.PointKDEFit, uint64(i)); err != nil {
+			return err
+		}
 		if len(s.Events) == 0 {
-			return nil, fmt.Errorf("hazard: source %q has no events", s.Name)
+			return fmt.Errorf("hazard: source %q has no events", s.Name)
+		}
+		if s.Scale < 0 {
+			return fmt.Errorf("hazard: source %q has negative scale", s.Name)
+		}
+		if s.Bandwidth == 0 && len(s.Events) < cfg.CV.MinEvents() {
+			return fmt.Errorf("hazard: source %q has %d events, below the %d cross-validation needs",
+				s.Name, len(s.Events), cfg.CV.MinEvents())
+		}
+		return nil
+	}
+
+	for i, s := range sources {
+		if err := fitErr(i, s); err != nil {
+			if !cfg.Lenient {
+				return nil, err
+			}
+			m.Lost = append(m.Lost, s.Name)
+			cfg.Health.Degrade("hazard", err, "dropped layer %q", s.Name)
+			continue
 		}
 		bw := s.Bandwidth
 		if bw == 0 {
@@ -134,9 +190,6 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 		est := kde.New(s.Events, bw)
 		grid := gridFor(cfg.Bounds, cfg.CellMiles, bw)
 		field := kde.Rasterize(est, grid, 5)
-		if s.Scale < 0 {
-			return nil, fmt.Errorf("hazard: source %q has negative scale", s.Name)
-		}
 		if s.Scale != 0 && s.Scale != 1 {
 			field.Scale(s.Scale)
 		}
@@ -148,17 +201,33 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 			estimator: est,
 		})
 	}
+	if len(m.Sources) == 0 {
+		return nil, &resilience.DegradedError{
+			Stage: "hazard",
+			Lost:  m.Lost,
+			Err:   fmt.Errorf("hazard: no source could be fitted"),
+		}
+	}
+	if len(m.Lost) > 0 {
+		m.renorm = float64(len(m.Sources)+len(m.Lost)) / float64(len(m.Sources))
+		cfg.Health.Degrade("hazard", nil,
+			"model re-normalized by %.2f after losing %d of %d layers",
+			m.renorm, len(m.Lost), len(sources))
+	} else {
+		cfg.Health.Record("hazard", "fitted all %d layers", len(m.Sources))
+	}
 	return m, nil
 }
 
 // RiskAt returns the aggregate historical outage risk o_h at p: the sum of
-// all source densities, in calibrated risk units.
+// all source densities, in calibrated risk units, re-normalized when a
+// lenient fit lost layers.
 func (m *Model) RiskAt(p geo.Point) float64 {
 	sum := 0.0
 	for i := range m.Sources {
 		sum += m.Sources[i].Field.At(p)
 	}
-	return sum * RiskScale
+	return sum * RiskScale * m.Renorm()
 }
 
 // SourceRiskAt returns one named source's risk at p (same units as RiskAt).

@@ -44,6 +44,11 @@ func (c CVConfig) withDefaults() CVConfig {
 	return c
 }
 
+// MinEvents returns the smallest catalog SelectBandwidth accepts under this
+// configuration (it panics below 2×Folds events). Callers wanting to degrade
+// rather than crash — hazard.Fit in lenient mode — check this first.
+func (c CVConfig) MinEvents() int { return 2 * c.withDefaults().Folds }
+
 // LogGrid returns n logarithmically spaced values from lo to hi inclusive.
 func LogGrid(lo, hi float64, n int) []float64 {
 	if n < 2 || lo <= 0 || hi <= lo {

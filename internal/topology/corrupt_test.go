@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"riskroute/internal/resilience"
+)
+
+// TestParseCorruptInputs drives every new strict-mode error path of the
+// native-format parser with one malformed input each, asserting a positional
+// *resilience.ValidationError surfaces via errors.As.
+func TestParseCorruptInputs(t *testing.T) {
+	const head = "network|X|tier1\n"
+	tests := []struct {
+		name     string
+		input    string
+		wantLine int
+		wantMsg  string
+	}{
+		{"nan latitude", head + "pop|A|NaN|-90|LA", 2, "latitude"},
+		{"inf latitude", head + "pop|A|+Inf|-90|LA", 2, "latitude"},
+		{"nan longitude", head + "pop|A|30|NaN|LA", 2, "longitude"},
+		{"inf longitude", head + "pop|A|30|-Inf|LA", 2, "longitude"},
+		{"latitude above range", head + "pop|A|90.5|-90|LA", 2, "outside"},
+		{"latitude below range", head + "pop|A|-91|-90|LA", 2, "outside"},
+		{"longitude above range", head + "pop|A|30|180.5|LA", 2, "outside"},
+		{"longitude below range", head + "pop|A|30|-181|LA", 2, "outside"},
+		{"unparseable latitude", head + "pop|A|9x.1|-90|LA", 2, "bad latitude"},
+		{"duplicate pop", head + "pop|A|30|-90|LA\npop|A|31|-91|MS", 3, "duplicate pop"},
+		{"self-loop link", head + "pop|A|30|-90|LA\nlink|A|A", 3, "self-loop"},
+		{"duplicate link", head + "pop|A|30|-90|LA\npop|B|31|-91|MS\nlink|A|B\nlink|B|A", 5, "duplicate link"},
+		{"link unknown pop", head + "pop|A|30|-90|LA\nlink|A|Z", 3, "unknown pop"},
+		{"link before network", "link|A|B", 1, "link before network"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tt.input))
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			var ve *resilience.ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %v is not a ValidationError", err)
+			}
+			if ve.Line != tt.wantLine {
+				t.Errorf("line = %d, want %d (%v)", ve.Line, tt.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), tt.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tt.wantMsg)
+			}
+			if !errors.Is(err, resilience.ErrValidation) {
+				t.Errorf("error %v does not match ErrValidation", err)
+			}
+		})
+	}
+}
+
+// TestParseLenientSkipsCorruption feeds one file containing every recoverable
+// corruption: the lenient parser must keep the healthy parts and record each
+// loss in the health report.
+func TestParseLenientSkipsCorruption(t *testing.T) {
+	input := `network|X|tier1
+pop|A|30|-90|LA
+pop|B|31|-91|MS
+pop|Bad|NaN|-90|??
+pop|A|32|-92|AL
+link|A|B
+link|A|A
+link|A|Zzz
+garbage line
+`
+	h := resilience.NewHealth()
+	nets, err := ParseLenient(strings.NewReader(input), nil, h)
+	if err != nil {
+		t.Fatalf("ParseLenient: %v", err)
+	}
+	if len(nets) != 1 {
+		t.Fatalf("parsed %d networks, want 1", len(nets))
+	}
+	n := nets[0]
+	if len(n.PoPs) != 2 || len(n.Links) != 1 {
+		t.Errorf("kept %d PoPs and %d links, want 2 and 1", len(n.PoPs), len(n.Links))
+	}
+	if err := n.Validate(); err != nil {
+		t.Errorf("lenient survivor invalid: %v", err)
+	}
+	if got := len(h.Lost("topology")); got != 5 {
+		t.Errorf("recorded %d degradations, want 5:\n%s", got, h)
+	}
+}
+
+// TestParseLenientKeepsDisconnected checks a fragmented topology is kept,
+// with the fragmentation recorded, instead of being rejected — the engine
+// routes within components.
+func TestParseLenientKeepsDisconnected(t *testing.T) {
+	input := `network|Frag|tier1
+pop|A|30|-90|LA
+pop|B|31|-91|MS
+pop|C|40|-100|KS
+pop|D|41|-101|NE
+link|A|B
+link|C|D
+`
+	if _, err := Parse(strings.NewReader(input)); err == nil {
+		t.Fatal("strict parse accepted disconnected network")
+	}
+	h := resilience.NewHealth()
+	nets, err := ParseLenient(strings.NewReader(input), nil, h)
+	if err != nil {
+		t.Fatalf("ParseLenient: %v", err)
+	}
+	if len(nets) != 1 || len(nets[0].PoPs) != 4 {
+		t.Fatalf("disconnected network not kept: %+v", nets)
+	}
+	if !h.Degraded() {
+		t.Error("fragmentation not recorded in health")
+	}
+	if lost := h.Lost("topology"); len(lost) != 1 || !strings.Contains(lost[0], "components") {
+		t.Errorf("Lost = %v", lost)
+	}
+}
+
+// TestParseLenientInjector drops lines via the fault injector and checks the
+// parser degrades instead of failing, deterministically per seed.
+func TestParseLenientInjector(t *testing.T) {
+	input := `network|X|tier1
+pop|A|30|-90|LA
+pop|B|31|-91|MS
+link|A|B
+`
+	inj := resilience.NewInjector(3).EnableKeys(resilience.PointTopologyParse, resilience.Drop, 4)
+	h := resilience.NewHealth()
+	nets, err := ParseLenient(strings.NewReader(input), inj, h)
+	if err != nil {
+		t.Fatalf("ParseLenient: %v", err)
+	}
+	// Line 4 (the link) was dropped: two PoPs survive, fragmentation recorded.
+	if len(nets) != 1 || len(nets[0].Links) != 0 {
+		t.Fatalf("expected linkless network, got %+v", nets)
+	}
+	if inj.Fired(resilience.PointTopologyParse) == 0 {
+		t.Error("injector did not fire")
+	}
+	if !h.Degraded() {
+		t.Error("injected drop not recorded")
+	}
+
+	// A forced error at the parse point aborts even lenient parsing.
+	inj2 := resilience.NewInjector(3).EnableKeys(resilience.PointTopologyParse, resilience.ForceError, 0)
+	if _, err := ParseLenient(strings.NewReader(input), inj2, nil); !errors.Is(err, resilience.ErrInjected) {
+		t.Errorf("forced error = %v, want ErrInjected", err)
+	}
+}
+
+// TestParseGraphMLCorruptInputs drives the new strict GraphML error paths.
+func TestParseGraphMLCorruptInputs(t *testing.T) {
+	doc := func(nodes, edges string) string {
+		return `<graphml>` +
+			`<key attr.name="Latitude" for="node" id="d0"/>` +
+			`<key attr.name="Longitude" for="node" id="d1"/>` +
+			`<graph>` + nodes + edges + `</graph></graphml>`
+	}
+	node := func(id, lat, lon string) string {
+		return `<node id="` + id + `"><data key="d0">` + lat + `</data><data key="d1">` + lon + `</data></node>`
+	}
+	tests := []struct {
+		name    string
+		doc     string
+		wantMsg string
+	}{
+		{"nan latitude", doc(node("n0", "NaN", "-90"), ""), "Latitude"},
+		{"inf longitude", doc(node("n0", "30", "Inf"), ""), "Longitude"},
+		{"latitude out of range", doc(node("n0", "95", "-90"), ""), "outside"},
+		{"longitude out of range", doc(node("n0", "30", "-200"), ""), "outside"},
+		{"unparseable coordinate", doc(node("n0", "30", "12,5"), ""), "bad Longitude"},
+		{"duplicate node id", doc(node("n0", "30", "-90")+node("n0", "31", "-91"), ""), "duplicate node id"},
+		{"self-loop edge", doc(node("n0", "30", "-90"), `<edge source="n0" target="n0"/>`), "self-loop"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseGraphML(strings.NewReader(tt.doc), "X", Tier1)
+			if err == nil {
+				t.Fatal("corrupt graphml accepted")
+			}
+			var ve *resilience.ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %v is not a ValidationError", err)
+			}
+			if !strings.Contains(err.Error(), tt.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tt.wantMsg)
+			}
+		})
+	}
+
+	// The same corruptions in one document parse leniently down to the
+	// healthy subset.
+	bad := doc(
+		node("n0", "30", "-90")+node("n1", "31", "-91")+node("n1", "32", "-92")+node("n2", "NaN", "-93"),
+		`<edge source="n0" target="n1"/><edge source="n0" target="n0"/>`)
+	h := resilience.NewHealth()
+	n, err := ParseGraphMLLenient(strings.NewReader(bad), "X", Tier1, h)
+	if err != nil {
+		t.Fatalf("ParseGraphMLLenient: %v", err)
+	}
+	if len(n.PoPs) != 2 || len(n.Links) != 1 {
+		t.Errorf("lenient kept %d PoPs / %d links, want 2 / 1", len(n.PoPs), len(n.Links))
+	}
+	if got := len(h.Lost("topology")); got != 3 {
+		t.Errorf("recorded %d degradations, want 3:\n%s", got, h)
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
+
+	"riskroute/internal/resilience"
 )
 
 // The native text format is line-oriented with pipe-separated fields,
@@ -34,42 +37,120 @@ func Write(w io.Writer, networks []*Network) error {
 	return bw.Flush()
 }
 
-// Parse reads networks in the native text format. Each parsed network is
-// validated before being returned.
+// vErr builds a positional *resilience.ValidationError for the native format.
+func vErr(line int, field, format string, args ...any) *resilience.ValidationError {
+	return resilience.Validationf("topology", line, field, format, args...)
+}
+
+// parseCoord parses one coordinate field and enforces the legal range —
+// NaN, ±Inf, and out-of-range values are rejected here with the offending
+// line rather than at network finish.
+func parseCoord(line int, field, raw string, limit float64) (float64, error) {
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, vErr(line, field, "bad %s %q", field, raw)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < -limit || v > limit {
+		return 0, vErr(line, field, "%s %q outside [%.0f, %.0f]", field, raw, -limit, limit)
+	}
+	return v, nil
+}
+
+// Parse reads networks in the native text format, failing closed: the first
+// malformed line aborts with a *resilience.ValidationError carrying its line
+// number and field. Each parsed network is validated before being returned.
 func Parse(r io.Reader) ([]*Network, error) {
+	return parse(r, false, nil, nil)
+}
+
+// ParseLenient reads networks failing open: malformed pop and link lines are
+// skipped, duplicate PoPs and self-loops dropped, and disconnected networks
+// kept — each loss recorded in health as a degradation. A network whose
+// header is unusable (or that ends up empty) is dropped and recorded. The
+// injector, when non-nil, is consulted at PointTopologyParse keyed by line
+// number to corrupt, truncate, or drop lines before they are parsed.
+func ParseLenient(r io.Reader, inj *resilience.Injector, health *resilience.Health) ([]*Network, error) {
+	return parse(r, true, inj, health)
+}
+
+func parse(r io.Reader, lenient bool, inj *resilience.Injector, health *resilience.Health) ([]*Network, error) {
+	if err := inj.ForcedError(resilience.PointTopologyParse, 0); err != nil {
+		return nil, err
+	}
+
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 
 	var networks []*Network
 	var cur *Network
+	curBroken := false // lenient: current network's header was unusable
 	popIdx := map[string]int{}
 	lineNo := 0
+
+	// reject aborts in strict mode and records-and-skips in lenient mode.
+	reject := func(err error) error {
+		if !lenient {
+			return err
+		}
+		health.Degrade("topology", err, "skipped line %d", lineNo)
+		return nil
+	}
 
 	finish := func() error {
 		if cur == nil {
 			return nil
 		}
-		if err := cur.Validate(); err != nil {
-			return err
+		n := cur
+		cur = nil
+		if err := n.Validate(); err != nil {
+			if !lenient {
+				return err
+			}
+			// The line-level checks above catch everything Validate does
+			// except connectivity; a fragmented network still routes within
+			// components, so keep it and record the degradation.
+			if len(n.PoPs) > 1 && !n.Graph().Connected() {
+				comps := len(n.Graph().Components())
+				health.Degrade("topology", err,
+					"network %q kept with %d disconnected components", n.Name, comps)
+				networks = append(networks, n)
+				return nil
+			}
+			health.Degrade("topology", err, "dropped network %q", n.Name)
+			return nil
 		}
-		networks = append(networks, cur)
+		networks = append(networks, n)
 		return nil
 	}
 
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
+		if lenient {
+			var dropped bool
+			line, dropped = inj.Transform(resilience.PointTopologyParse, uint64(lineNo), line)
+			if dropped {
+				health.Degrade("topology", nil, "line %d dropped by fault injector", lineNo)
+				continue
+			}
+			line = strings.TrimSpace(line)
+		}
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Split(line, "|")
 		switch fields[0] {
 		case "network":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("topology: line %d: network takes name and tier", lineNo)
-			}
 			if err := finish(); err != nil {
 				return nil, err
+			}
+			curBroken = false
+			if len(fields) != 3 {
+				if err := reject(vErr(lineNo, "network", "network takes name and tier")); err != nil {
+					return nil, err
+				}
+				curBroken = true
+				continue
 			}
 			var tier Tier
 			switch fields[2] {
@@ -78,27 +159,50 @@ func Parse(r io.Reader) ([]*Network, error) {
 			case "regional":
 				tier = Regional
 			default:
-				return nil, fmt.Errorf("topology: line %d: unknown tier %q", lineNo, fields[2])
+				if err := reject(vErr(lineNo, "tier", "unknown tier %q", fields[2])); err != nil {
+					return nil, err
+				}
+				curBroken = true
+				continue
 			}
 			cur = &Network{Name: fields[1], Tier: tier}
 			popIdx = map[string]int{}
 		case "pop":
 			if cur == nil {
-				return nil, fmt.Errorf("topology: line %d: pop before network", lineNo)
+				if curBroken {
+					health.Degrade("topology", nil, "line %d: pop under unusable network header", lineNo)
+					continue
+				}
+				if err := reject(vErr(lineNo, "pop", "pop before network")); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			if len(fields) != 5 {
-				return nil, fmt.Errorf("topology: line %d: pop takes name, lat, lon, state", lineNo)
+				if err := reject(vErr(lineNo, "pop", "pop takes name, lat, lon, state")); err != nil {
+					return nil, err
+				}
+				continue
 			}
-			lat, err := strconv.ParseFloat(fields[2], 64)
+			lat, err := parseCoord(lineNo, "latitude", fields[2], 90)
 			if err != nil {
-				return nil, fmt.Errorf("topology: line %d: bad latitude %q", lineNo, fields[2])
+				if err := reject(err); err != nil {
+					return nil, err
+				}
+				continue
 			}
-			lon, err := strconv.ParseFloat(fields[3], 64)
+			lon, err := parseCoord(lineNo, "longitude", fields[3], 180)
 			if err != nil {
-				return nil, fmt.Errorf("topology: line %d: bad longitude %q", lineNo, fields[3])
+				if err := reject(err); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			if _, dup := popIdx[fields[1]]; dup {
-				return nil, fmt.Errorf("topology: line %d: duplicate pop %q", lineNo, fields[1])
+				if err := reject(vErr(lineNo, "pop", "duplicate pop %q", fields[1])); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			popIdx[fields[1]] = len(cur.PoPs)
 			cur.PoPs = append(cur.PoPs, PoP{
@@ -108,22 +212,52 @@ func Parse(r io.Reader) ([]*Network, error) {
 			})
 		case "link":
 			if cur == nil {
-				return nil, fmt.Errorf("topology: line %d: link before network", lineNo)
+				if curBroken {
+					health.Degrade("topology", nil, "line %d: link under unusable network header", lineNo)
+					continue
+				}
+				if err := reject(vErr(lineNo, "link", "link before network")); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("topology: line %d: link takes two pop names", lineNo)
+				if err := reject(vErr(lineNo, "link", "link takes two pop names")); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			a, ok := popIdx[fields[1]]
 			if !ok {
-				return nil, fmt.Errorf("topology: line %d: unknown pop %q", lineNo, fields[1])
+				if err := reject(vErr(lineNo, "link", "unknown pop %q", fields[1])); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			b, ok := popIdx[fields[2]]
 			if !ok {
-				return nil, fmt.Errorf("topology: line %d: unknown pop %q", lineNo, fields[2])
+				if err := reject(vErr(lineNo, "link", "unknown pop %q", fields[2])); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if a == b {
+				if err := reject(vErr(lineNo, "link", "self-loop at pop %q", fields[1])); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if cur.HasLink(a, b) {
+				if err := reject(vErr(lineNo, "link", "duplicate link %q-%q", fields[1], fields[2])); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			cur.Links = append(cur.Links, Link{A: a, B: b})
 		default:
-			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+			if err := reject(vErr(lineNo, "", "unknown directive %q", fields[0])); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

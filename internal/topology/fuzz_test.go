@@ -17,6 +17,14 @@ func FuzzParse(f *testing.F) {
 	f.Add("pop|orphan|1|2|TX")
 	f.Add("")
 	f.Add("network|Z|tier1\npop|A|abc|def|??\n")
+	// Corrupt-input corpus: the strict parser's ValidationError paths.
+	f.Add("network|X|tier1\npop|A|NaN|-90|LA\n")
+	f.Add("network|X|tier1\npop|A|+Inf|-90|LA\n")
+	f.Add("network|X|tier1\npop|A|90.5|-90|LA\n")
+	f.Add("network|X|tier1\npop|A|30|-181|LA\n")
+	f.Add("network|X|tier1\npop|A|30|-90|LA\nlink|A|A\n")
+	f.Add("network|X|tier1\npop|A|30|-90|LA\npop|B|31|-91|MS\nlink|A|B\nlink|B|A\n")
+	f.Add("network|Frag|tier1\npop|A|30|-90|LA\npop|B|31|-91|MS\npop|C|40|-100|KS\npop|D|41|-101|NE\nlink|A|B\nlink|C|D\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		nets, err := Parse(strings.NewReader(input))
@@ -52,6 +60,11 @@ func FuzzParseGraphML(f *testing.F) {
 	f.Add(`<graphml>`)
 	f.Add(`not xml`)
 	f.Add(``)
+	// Corrupt-input corpus: the strict parser's ValidationError paths.
+	f.Add(`<graphml><key attr.name="Latitude" for="node" id="d0"/><key attr.name="Longitude" for="node" id="d1"/><graph><node id="0"><data key="d0">NaN</data><data key="d1">-90</data></node></graph></graphml>`)
+	f.Add(`<graphml><key attr.name="Latitude" for="node" id="d0"/><key attr.name="Longitude" for="node" id="d1"/><graph><node id="0"><data key="d0">95</data><data key="d1">-200</data></node></graph></graphml>`)
+	f.Add(`<graphml><key attr.name="Latitude" for="node" id="d0"/><key attr.name="Longitude" for="node" id="d1"/><graph><node id="0"><data key="d0">30</data><data key="d1">-90</data></node><node id="0"><data key="d0">31</data><data key="d1">-91</data></node></graph></graphml>`)
+	f.Add(`<graphml><key attr.name="Latitude" for="node" id="d0"/><key attr.name="Longitude" for="node" id="d1"/><graph><node id="0"><data key="d0">30</data><data key="d1">-90</data></node><edge source="0" target="0"/></graph></graphml>`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		n, err := ParseGraphML(strings.NewReader(input), "Fuzz", Tier1)

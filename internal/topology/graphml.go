@@ -4,7 +4,10 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+
+	"riskroute/internal/resilience"
 )
 
 // GraphML support covers the subset of the format the Internet Topology Zoo
@@ -46,12 +49,44 @@ type graphmlData struct {
 }
 
 // ParseGraphML reads a Topology-Zoo-style GraphML document into a Network
-// with the given name and tier. Nodes missing coordinates (Topology Zoo
+// with the given name and tier, failing closed: duplicate node ids,
+// present-but-malformed coordinates (unparseable, NaN, ±Inf, out of range),
+// and self-loop edges abort with a *resilience.ValidationError naming the
+// offending node or edge. Nodes missing coordinates entirely (Topology Zoo
 // uses placeholder nodes for external peers) are dropped along with their
 // edges; duplicate edges collapse to one. The resulting network is NOT
 // validated for connectivity, since raw Zoo maps are occasionally
 // fragmented; callers wanting the guarantee should call Validate.
 func ParseGraphML(r io.Reader, name string, tier Tier) (*Network, error) {
+	return parseGraphML(r, name, tier, false, nil)
+}
+
+// ParseGraphMLLenient reads a GraphML document failing open: malformed nodes
+// and self-loop edges are dropped and recorded in health as degradations
+// instead of aborting the parse.
+func ParseGraphMLLenient(r io.Reader, name string, tier Tier, health *resilience.Health) (*Network, error) {
+	return parseGraphML(r, name, tier, true, health)
+}
+
+// gErr builds a *resilience.ValidationError positioned by GraphML node or
+// edge identity (the format has no useful line numbers after decoding).
+func gErr(field, format string, args ...any) *resilience.ValidationError {
+	return resilience.Validationf("graphml", 0, field, format, args...)
+}
+
+// parseGraphMLCoord validates one present coordinate value.
+func parseGraphMLCoord(nodeID, field, raw string, limit float64) (float64, error) {
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, gErr("node "+nodeID, "bad %s %q", field, raw)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < -limit || v > limit {
+		return 0, gErr("node "+nodeID, "%s %q outside [%.0f, %.0f]", field, raw, -limit, limit)
+	}
+	return v, nil
+}
+
+func parseGraphML(r io.Reader, name string, tier Tier, lenient bool, health *resilience.Health) (*Network, error) {
 	var doc graphmlDoc
 	dec := xml.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {
@@ -76,31 +111,60 @@ func ParseGraphML(r io.Reader, name string, tier Tier) (*Network, error) {
 		return nil, fmt.Errorf("topology: graphml has no Latitude/Longitude keys")
 	}
 
+	// reject aborts in strict mode and records-and-skips in lenient mode.
+	reject := func(err error) error {
+		if !lenient {
+			return err
+		}
+		health.Degrade("topology", err, "graphml: skipped malformed element")
+		return nil
+	}
+
 	n := &Network{Name: name, Tier: tier}
 	idToIdx := make(map[string]int)
+	idSeen := make(map[string]bool)
 	nameCount := make(map[string]int)
 	for _, node := range doc.Graph.Nodes {
+		if idSeen[node.ID] {
+			if err := reject(gErr("node "+node.ID, "duplicate node id")); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		idSeen[node.ID] = true
 		var lat, lon float64
-		var haveLat, haveLon bool
+		var haveLat, haveLon, badCoord bool
 		label := node.ID
 		for _, d := range node.Data {
 			switch d.Key {
 			case latKey:
-				if v, err := strconv.ParseFloat(d.Value, 64); err == nil {
-					lat, haveLat = v, true
+				v, err := parseGraphMLCoord(node.ID, "Latitude", d.Value, 90)
+				if err != nil {
+					if err := reject(err); err != nil {
+						return nil, err
+					}
+					badCoord = true
+					continue
 				}
+				lat, haveLat = v, true
 			case lonKey:
-				if v, err := strconv.ParseFloat(d.Value, 64); err == nil {
-					lon, haveLon = v, true
+				v, err := parseGraphMLCoord(node.ID, "Longitude", d.Value, 180)
+				if err != nil {
+					if err := reject(err); err != nil {
+						return nil, err
+					}
+					badCoord = true
+					continue
 				}
+				lon, haveLon = v, true
 			case labelKey:
 				if d.Value != "" {
 					label = d.Value
 				}
 			}
 		}
-		if !haveLat || !haveLon {
-			continue // placeholder node without geolocation
+		if badCoord || !haveLat || !haveLon {
+			continue // placeholder node, or lenient-dropped malformed one
 		}
 		nameCount[label]++
 		if c := nameCount[label]; c > 1 {
@@ -112,10 +176,16 @@ func ParseGraphML(r io.Reader, name string, tier Tier) (*Network, error) {
 
 	seen := make(map[[2]int]bool)
 	for _, e := range doc.Graph.Edges {
+		if e.Source == e.Target {
+			if err := reject(gErr(fmt.Sprintf("edge %s-%s", e.Source, e.Target), "self-loop edge")); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		a, okA := idToIdx[e.Source]
 		b, okB := idToIdx[e.Target]
-		if !okA || !okB || a == b {
-			continue
+		if !okA || !okB {
+			continue // endpoint was a placeholder (or lenient-dropped) node
 		}
 		key := [2]int{a, b}
 		if a > b {

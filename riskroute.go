@@ -42,6 +42,7 @@ import (
 	"riskroute/internal/hazard"
 	"riskroute/internal/interdomain"
 	"riskroute/internal/population"
+	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
 	"riskroute/internal/topology"
 )
@@ -382,6 +383,107 @@ func BestNewPeering(nets []*Network, peered func(a, b string) bool, name string,
 	destNetworks []string, model *HazardModel, census *Census,
 	params Params, opts Options) ([]PeeringChoice, error) {
 	return interdomain.BestNewPeering(nets, peered, name, destNetworks, model, census, params, opts)
+}
+
+// Resilience: fault injection, typed failure taxonomy, and degraded-mode
+// health reporting (see DESIGN.md, "Failure semantics and degraded mode").
+type (
+	// Injector is a deterministic, seeded fault-injection harness. A nil
+	// Injector is inert, so production paths pass it unconditionally.
+	Injector = resilience.Injector
+	// PipelineHealth collects per-stage checkpoints and degradations across
+	// a pipeline run.
+	PipelineHealth = resilience.Health
+	// HealthEvent is one recorded pipeline checkpoint or degradation.
+	HealthEvent = resilience.Event
+	// InjectionPoint names a pipeline stage faults can target.
+	InjectionPoint = resilience.Point
+	// FaultMode selects how an injected fault manifests.
+	FaultMode = resilience.Mode
+	// ValidationError is a positional input-validation failure
+	// (source, line, field).
+	ValidationError = resilience.ValidationError
+	// DegradedError reports a stage that completed at reduced fidelity
+	// beyond what lenient mode tolerates.
+	DegradedError = resilience.DegradedError
+)
+
+// Error classes, matched with errors.Is.
+var (
+	// ErrValidation matches every ValidationError.
+	ErrValidation = resilience.ErrValidation
+	// ErrDegraded matches every DegradedError.
+	ErrDegraded = resilience.ErrDegraded
+	// ErrInjected matches errors forced by an Injector.
+	ErrInjected = resilience.ErrInjected
+)
+
+// The pipeline's named injection points.
+const (
+	InjectTopologyParse = resilience.PointTopologyParse
+	InjectAdvisoryParse = resilience.PointAdvisoryParse
+	InjectKDEFit        = resilience.PointKDEFit
+	InjectEngineBuild   = resilience.PointEngineBuild
+	InjectDijkstraSweep = resilience.PointDijkstraSweep
+)
+
+// Fault modes.
+const (
+	FaultCorrupt    = resilience.Corrupt
+	FaultTruncate   = resilience.Truncate
+	FaultDrop       = resilience.Drop
+	FaultForceError = resilience.ForceError
+)
+
+// NewInjector returns an inactive injector; arm it with Enable/EnableKeys.
+// The same seed and rules always fire on the same inputs.
+func NewInjector(seed uint64) *Injector { return resilience.NewInjector(seed) }
+
+// NewPipelineHealth returns an empty health report.
+func NewPipelineHealth() *PipelineHealth { return resilience.NewHealth() }
+
+// ParseTopologyLenient reads networks in the native format, skipping and
+// recording corrupt lines instead of failing, and keeping disconnected
+// networks (the engine then routes within components). inj and health may be
+// nil.
+func ParseTopologyLenient(r io.Reader, inj *Injector, health *PipelineHealth) ([]*Network, error) {
+	return topology.ParseLenient(r, inj, health)
+}
+
+// ParseGraphMLLenient reads a GraphML map, dropping and recording malformed
+// nodes and edges instead of failing.
+func ParseGraphMLLenient(r io.Reader, name string, tier Tier, health *PipelineHealth) (*Network, error) {
+	return topology.ParseGraphMLLenient(r, name, tier, health)
+}
+
+// ParseAdvisoryLenient parses advisory text, zeroing and recording malformed
+// optional fields (movement, winds, hurricane radius) instead of failing;
+// corrupt required fields still error.
+func ParseAdvisoryLenient(text string) (*Advisory, []*ValidationError, error) {
+	return forecast.ParseAdvisoryLenient(text)
+}
+
+// LoadHurricaneReplayLenient is LoadHurricaneReplay with carry-forward: an
+// advisory that fails to parse (or is knocked out by inj) is replaced by the
+// last-known storm state, marked Carried, and recorded in health.
+func LoadHurricaneReplayLenient(track *BestTrack, inj *Injector, health *PipelineHealth) (*Replay, error) {
+	return forecast.LoadReplayLenient(track, inj, health)
+}
+
+// CheckTopology lenient-parses a topology stream purely for diagnosis and
+// returns the surviving networks with the health report of the parse.
+func CheckTopology(r io.Reader) ([]*Network, *PipelineHealth, error) {
+	h := NewPipelineHealth()
+	nets, err := topology.ParseLenient(r, nil, h)
+	return nets, h, err
+}
+
+// CheckAdvisoryCorpus lenient-parses a storm's advisory corpus — optionally
+// under injected faults — and returns the replay with the health report.
+func CheckAdvisoryCorpus(storm string, texts []string, inj *Injector) (*Replay, *PipelineHealth, error) {
+	h := NewPipelineHealth()
+	r, err := forecast.ParseCorpusLenient(storm, texts, inj, h)
+	return r, h, err
 }
 
 // Experiments (paper reproduction harness).
