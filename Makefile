@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier2 fuzz-smoke
+.PHONY: tier1 tier2 fuzz-smoke bench
 
 # tier1 is the gate every change must keep green: full build + test suite.
 tier1:
@@ -14,6 +14,17 @@ tier2: tier1
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+
+# bench runs every benchmark three times and distills the text output into
+# BENCH_PR2.json (per-benchmark min/mean ns/op plus the telemetry overhead
+# ratio from the EvaluateTelemetryOff/On pair — budget: <= 2%, see DESIGN.md).
+# The focused -count=10 pass tightens the noise floor on the overhead pair.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -count=3 ./... | tee bench.out
+	$(GO) test -run='^$$' -bench='EvaluateTelemetry' -count=10 -benchtime=0.5s ./internal/core | tee -a bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR2.json \
+		-overhead-off EvaluateTelemetryOff -overhead-on EvaluateTelemetryOn bench.out
+	@rm -f bench.out
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/topology

@@ -1,0 +1,194 @@
+// benchjson converts `go test -bench` text output into a machine-readable
+// JSON summary, aggregating repeated -count runs per benchmark (min and mean
+// ns/op; the minimum is the noise-floor estimator used for comparisons).
+// Optionally it computes the telemetry overhead ratio between a paired
+// off/on benchmark:
+//
+//	go test -bench=. -benchmem -count=3 ./... | \
+//	    go run ./cmd/benchjson -o BENCH_PR2.json \
+//	        -overhead-off EvaluateTelemetryOff -overhead-on EvaluateTelemetryOn
+//
+// Input may also be given as file arguments. Lines that are not benchmark
+// results (package headers, PASS/ok, cpu info) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type overhead struct {
+	Off         string  `json:"off"`
+	On          string  `json:"on"`
+	OffNsMin    float64 `json:"off_ns_per_op_min"`
+	OnNsMin     float64 `json:"on_ns_per_op_min"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+type summary struct {
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	Benchmarks []result  `json:"benchmarks"`
+	Overhead   *overhead `json:"telemetry_overhead,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	offName := flag.String("overhead-off", "", "baseline benchmark for the overhead ratio (substring match)")
+	onName := flag.String("overhead-on", "", "instrumented benchmark for the overhead ratio (substring match)")
+	flag.Parse()
+
+	agg := map[string]*result{}
+	var order []string
+	scan := func(r io.Reader) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if res, ok := parseLine(sc.Text()); ok {
+				cur, seen := agg[res.Name]
+				if !seen {
+					agg[res.Name] = &res
+					order = append(order, res.Name)
+					continue
+				}
+				cur.Runs++
+				cur.Iterations += res.Iterations
+				cur.NsPerOpMean += res.NsPerOpMean
+				if res.NsPerOpMin < cur.NsPerOpMin {
+					cur.NsPerOpMin = res.NsPerOpMin
+				}
+				if res.BytesPerOp > cur.BytesPerOp {
+					cur.BytesPerOp = res.BytesPerOp
+				}
+				if res.AllocsPerOp > cur.AllocsPerOp {
+					cur.AllocsPerOp = res.AllocsPerOp
+				}
+			}
+		}
+		return sc.Err()
+	}
+
+	if flag.NArg() == 0 {
+		if err := scan(os.Stdin); err != nil {
+			fatal(err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = scan(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(agg) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	s := summary{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sort.Strings(order)
+	for _, name := range order {
+		r := *agg[name]
+		r.NsPerOpMean /= float64(r.Runs)
+		s.Benchmarks = append(s.Benchmarks, r)
+	}
+	if *offName != "" && *onName != "" {
+		off, on := find(s.Benchmarks, *offName), find(s.Benchmarks, *onName)
+		if off == nil || on == nil {
+			fatal(fmt.Errorf("overhead pair %q/%q not found in results", *offName, *onName))
+		}
+		s.Overhead = &overhead{
+			Off:         off.Name,
+			On:          on.Name,
+			OffNsMin:    off.NsPerOpMin,
+			OnNsMin:     on.NsPerOpMin,
+			OverheadPct: 100 * (on.NsPerOpMin - off.NsPerOpMin) / off.NsPerOpMin,
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine matches `BenchmarkName-8   100  12345 ns/op [ 67 B/op  8 allocs/op ]`.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res := result{Name: name, Runs: 1, Iterations: iters}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOpMin, res.NsPerOpMean, ok = v, v, true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, ok
+}
+
+func find(rs []result, substr string) *result {
+	for i := range rs {
+		if strings.Contains(rs[i].Name, substr) {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkEvaluateGrid36-8   \t 597\t   1839751 ns/op\t  605247 B/op\t    3959 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if res.Name != "BenchmarkEvaluateGrid36" {
+		t.Errorf("name = %q, want procs suffix stripped", res.Name)
+	}
+	if res.Iterations != 597 || res.NsPerOpMin != 1839751 || res.BytesPerOp != 605247 || res.AllocsPerOp != 3959 {
+		t.Errorf("parsed %+v", res)
+	}
+
+	// No -procs suffix, ns/op only.
+	res, ok = parseLine("BenchmarkCounterAdd 	1000000	 12.5 ns/op")
+	if !ok || res.Name != "BenchmarkCounterAdd" || res.NsPerOpMin != 12.5 {
+		t.Errorf("parsed %+v ok=%v", res, ok)
+	}
+
+	for _, line := range []string{
+		"ok  \triskroute/internal/core\t8.271s",
+		"PASS",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"goos: linux",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-result line parsed as benchmark: %q", line)
+		}
+	}
+}

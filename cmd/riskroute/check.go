@@ -88,6 +88,9 @@ func checkStorm(storm string, corruptRate float64, seed uint64) error {
 
 func checkPipeline(w *worldFlags, network string, dropLayer int, seed uint64) error {
 	health := riskroute.NewPipelineHealth()
+	// With -telemetry active, degraded events also surface as
+	// pipeline.<stage>.<severity>_total counters in the exit report.
+	health.AttachMetrics(tel.reg)
 	var inj *riskroute.Injector
 	if dropLayer >= 0 {
 		inj = riskroute.NewInjector(seed).
@@ -98,7 +101,8 @@ func checkPipeline(w *worldFlags, network string, dropLayer int, seed uint64) er
 		return err
 	}
 	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
-		riskroute.HazardFitConfig{Lenient: true, Injector: inj, Health: health})
+		riskroute.HazardFitConfig{Lenient: true, Injector: inj, Health: health,
+			Metrics: tel.reg, Trace: tel.trace})
 	if err != nil {
 		return err
 	}
@@ -113,7 +117,10 @@ func checkPipeline(w *worldFlags, network string, dropLayer int, seed uint64) er
 		Fractions: asg.Fractions,
 		Params:    riskroute.PaperParams(),
 	}
-	e, err := riskroute.NewEngine(ctx, riskroute.Options{Injector: inj, Health: health})
+	opts := telOptions()
+	opts.Injector = inj
+	opts.Health = health
+	e, err := riskroute.NewEngine(ctx, opts)
 	if err != nil {
 		return err
 	}

@@ -29,6 +29,7 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	tel.cmd = cmd
 	var err error
 	switch cmd {
 	case "route":
@@ -63,6 +64,8 @@ func main() {
 		err = cmdNetworks(args)
 	case "check":
 		err = cmdCheck(args)
+	case "stats":
+		err = cmdStats(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -70,6 +73,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	telemetryFinish()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "riskroute:", err)
 		os.Exit(1)
@@ -96,6 +100,13 @@ Commands:
   export     dump embedded topologies (native text or GraphML)
   networks   list the embedded networks
   check      diagnose inputs and report degraded-mode pipeline health
+  stats      instrumented pipeline pass; emits the telemetry report (JSON)
+
+Every command also takes the telemetry flags:
+  -telemetry text|json|off   emit a metrics + trace report to stderr on exit
+  -cpuprofile file           write a CPU profile of the run
+  -memprofile file           write a heap profile at exit
+  -debug-addr addr           serve expvar, net/http/pprof, and /telemetry
 
 Run 'riskroute <command> -h' for command flags.
 `)
@@ -117,12 +128,13 @@ func addWorldFlags(fs *flag.FlagSet) *worldFlags {
 	fs.Uint64Var(&w.seed, "seed", 1, "world seed")
 	fs.StringVar(&w.topoFile, "topology", "", "optional topology file (native format) replacing the embedded corpus")
 	fs.BoolVar(&w.spanRisk, "span-risk", false, "also charge risk sampled along fiber spans, not just at PoPs")
+	addTelemetryFlags(fs)
 	return w
 }
 
 func (w *worldFlags) build() (*riskroute.HazardModel, *riskroute.Census, error) {
 	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
-		riskroute.HazardFitConfig{})
+		riskroute.HazardFitConfig{Metrics: tel.reg, Trace: tel.trace})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -186,7 +198,7 @@ func engineFor(w *worldFlags, name string, params riskroute.Params,
 	if w.spanRisk {
 		ctx.SetLinkHist(model.LinkRisks(net, 8))
 	}
-	e, err := riskroute.NewEngine(ctx, riskroute.Options{})
+	e, err := riskroute.NewEngine(ctx, telOptions())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -335,7 +347,7 @@ func cmdRatios(args []string) error {
 	if err != nil {
 		return err
 	}
-	an, err := riskroute.NewInterdomainAnalysis(comp, model, census, nil, params, riskroute.Options{})
+	an, err := riskroute.NewInterdomainAnalysis(comp, model, census, nil, params, telOptions())
 	if err != nil {
 		return err
 	}
@@ -393,7 +405,7 @@ func cmdPeers(args []string) error {
 		regionals = append(regionals, n.Name)
 	}
 	choices, err := riskroute.BestNewPeering(nets, riskroute.BuiltinPeered, *network,
-		regionals, model, census, riskroute.Params{LambdaH: *lambdaH}, riskroute.Options{})
+		regionals, model, census, riskroute.Params{LambdaH: *lambdaH}, telOptions())
 	if err != nil {
 		return err
 	}
@@ -449,7 +461,7 @@ func cmdReplay(args []string) error {
 			Fractions: asg.Fractions,
 			Params:    riskroute.Params{LambdaH: *lambdaH, LambdaF: *lambdaF},
 		}
-		e, err := riskroute.NewEngine(ctx, riskroute.Options{})
+		e, err := riskroute.NewEngine(ctx, telOptions())
 		if err != nil {
 			return err
 		}
@@ -462,6 +474,7 @@ func cmdReplay(args []string) error {
 
 func cmdScope(args []string) error {
 	fs := flag.NewFlagSet("scope", flag.ExitOnError)
+	addTelemetryFlags(fs)
 	storm := fs.String("storm", "Sandy", "storm name (Irene, Katrina, Sandy)")
 	fs.Parse(args)
 
@@ -497,6 +510,7 @@ func cmdScope(args []string) error {
 
 func cmdNetworks(args []string) error {
 	fs := flag.NewFlagSet("networks", flag.ExitOnError)
+	addTelemetryFlags(fs)
 	fs.Parse(args)
 	fmt.Println("embedded networks (7 Tier-1, 16 regional):")
 	for _, n := range riskroute.BuiltinNetworks() {

@@ -74,6 +74,7 @@ func severityLabel(tropical bool) string {
 // for the -topology flag or feed other tools.
 func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	addTelemetryFlags(fs)
 	network := fs.String("network", "", "network to export (empty = whole corpus, native format only)")
 	format := fs.String("format", "native", "output format: native|graphml")
 	out := fs.String("o", "", "output file (empty = stdout)")

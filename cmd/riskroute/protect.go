@@ -155,7 +155,8 @@ func cmdSeason(args []string) error {
 	fs.Parse(args)
 
 	seasonal, err := riskroute.FitSeasonalHazard(
-		riskroute.SyntheticSeasonalSources(w.eventScale, w.seed), riskroute.HazardFitConfig{})
+		riskroute.SyntheticSeasonalSources(w.eventScale, w.seed),
+		riskroute.HazardFitConfig{Metrics: tel.reg, Trace: tel.trace})
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func cmdSeason(args []string) error {
 			Fractions: asg.Fractions,
 			Params:    riskroute.Params{LambdaH: *lambdaH},
 		}
-		e, err := riskroute.NewEngine(ctx, riskroute.Options{})
+		e, err := riskroute.NewEngine(ctx, telOptions())
 		if err != nil {
 			return err
 		}

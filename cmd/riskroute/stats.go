@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"riskroute"
+)
+
+// cmdStats runs an instrumented end-to-end pipeline pass — topology parse,
+// hazard fit, engine build, all-pairs sweep — and emits the telemetry report
+// (trace tree + metrics snapshot + runtime stats) to stdout, JSON by default:
+//
+//	riskroute stats
+//	riskroute stats -network Sprint -format text
+//	riskroute stats -topology nets.txt
+//
+// The report is machine-readable: the trace carries the parse / fit /
+// engine-build / sweep stage spans with durations in nanoseconds, and the
+// metrics snapshot carries every counter, gauge, and histogram the pipeline
+// recorded. This is the command for answering "where does a run spend its
+// time" without attaching a profiler.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	w := addWorldFlags(fs)
+	network := fs.String("network", "Level3", "network to route over")
+	lambdaH := fs.Float64("lambda-h", 1e5, "historical risk weight λ_h")
+	format := fs.String("format", "json", "report format: json or text")
+	fs.Parse(args)
+	if *format != "json" && *format != "text" {
+		return fmt.Errorf("unknown format %q (want json or text)", *format)
+	}
+
+	// stats always collects, with or without -telemetry.
+	tel.ensure()
+	reg, trace := tel.reg, tel.trace
+	health := riskroute.NewPipelineHealth()
+	health.AttachMetrics(reg)
+
+	// Parse stage: the user's topology file, or the embedded corpus
+	// round-tripped through the native text format so the parser is measured
+	// on a realistic full-corpus input.
+	parse := trace.Child("parse")
+	var nets []*riskroute.Network
+	var err error
+	if w.topoFile != "" {
+		f, oerr := os.Open(w.topoFile)
+		if oerr != nil {
+			return oerr
+		}
+		nets, err = riskroute.ParseTopologyLenient(f, nil, health)
+		f.Close()
+	} else {
+		var buf bytes.Buffer
+		if err := riskroute.WriteTopology(&buf, riskroute.BuiltinNetworks()); err != nil {
+			return err
+		}
+		nets, err = riskroute.ParseTopologyLenient(&buf, nil, health)
+	}
+	if err != nil {
+		return err
+	}
+	parse.SetAttr("networks", len(nets))
+	parse.End()
+	var net *riskroute.Network
+	for _, n := range nets {
+		if n.Name == *network {
+			net = n
+		}
+	}
+	if net == nil {
+		return fmt.Errorf("network %q not found (try 'riskroute networks')", *network)
+	}
+
+	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
+		riskroute.HazardFitConfig{Metrics: reg, Trace: trace, Health: health})
+	if err != nil {
+		return err
+	}
+	census := riskroute.SyntheticCensus(w.blocks, w.seed)
+	asg, err := riskroute.AssignPopulation(census, net)
+	if err != nil {
+		return err
+	}
+	ctx := &riskroute.Context{
+		Net:       net,
+		Hist:      model.PoPRisks(net),
+		Fractions: asg.Fractions,
+		Params:    riskroute.Params{LambdaH: *lambdaH},
+	}
+	if w.spanRisk {
+		ctx.SetLinkHist(model.LinkRisks(net, 8))
+	}
+	opts := telOptions()
+	opts.Health = health
+	e, err := riskroute.NewEngine(ctx, opts)
+	if err != nil {
+		return err
+	}
+	r := e.Evaluate()
+	trace.SetAttr("network", net.Name)
+	trace.SetAttr("pairs", r.Pairs)
+	trace.SetAttr("risk_reduction", r.RiskReduction)
+	trace.End()
+
+	riskroute.CaptureRuntime(reg)
+	rep := riskroute.BuildTelemetryReport(reg, trace)
+	if *format == "text" {
+		return rep.WriteText(os.Stdout)
+	}
+	return rep.WriteJSON(os.Stdout)
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"riskroute"
+)
+
+// telemetryState is the process-wide telemetry wiring every subcommand
+// shares. The CLI runs exactly one command per process, so a single global —
+// armed by flags at parse time, drained by telemetryFinish on the way out —
+// keeps the sixteen subcommands free of plumbing. When no telemetry flag is
+// given, reg and trace stay nil and the whole pipeline runs with nil-handle
+// no-ops.
+type telemetryState struct {
+	cmd     string // subcommand name, becomes the root span's name
+	mode    string // "", "off", "text", or "json": exit-report format
+	reg     *riskroute.Metrics
+	trace   *riskroute.Span
+	cpuStop func() error
+	memPath string
+	debug   *riskroute.DebugServer
+}
+
+var tel telemetryState
+
+// ensure lazily creates the registry and root trace (idempotent). Any
+// telemetry flag arms collection; `riskroute stats` arms it unconditionally.
+func (t *telemetryState) ensure() {
+	if t.reg == nil {
+		t.reg = riskroute.NewMetrics()
+		name := t.cmd
+		if name == "" {
+			name = "riskroute"
+		}
+		t.trace = riskroute.NewTrace(name)
+	}
+}
+
+// options returns engine options pre-wired with the session's telemetry
+// (zero options when telemetry is off — both fields are nil-safe).
+func telOptions() riskroute.Options {
+	return riskroute.Options{Metrics: tel.reg, Trace: tel.trace}
+}
+
+// addTelemetryFlags registers the global telemetry flags on a subcommand's
+// flag set. flag.Func runs at parse time, so profiling and the debug
+// listener start before the command body does any work.
+func addTelemetryFlags(fs *flag.FlagSet) {
+	fs.Func("telemetry", "emit a telemetry report to stderr on exit: text, json, or off", func(v string) error {
+		switch v {
+		case "off":
+			tel.mode = "off"
+			return nil
+		case "text", "json":
+			tel.mode = v
+			tel.ensure()
+			return nil
+		default:
+			return fmt.Errorf("unknown telemetry format %q (want text, json, or off)", v)
+		}
+	})
+	fs.Func("cpuprofile", "write a CPU profile of the run to `file`", func(path string) error {
+		tel.ensure()
+		stop, err := riskroute.StartCPUProfile(path)
+		if err != nil {
+			return err
+		}
+		tel.cpuStop = stop
+		return nil
+	})
+	fs.Func("memprofile", "write a heap profile at exit to `file`", func(path string) error {
+		tel.ensure()
+		tel.memPath = path
+		return nil
+	})
+	fs.Func("debug-addr", "serve expvar, net/http/pprof, and /telemetry on `addr` (e.g. localhost:6060)", func(addr string) error {
+		tel.ensure()
+		srv, err := riskroute.ServeDebug(addr, tel.reg)
+		if err != nil {
+			return err
+		}
+		tel.debug = srv
+		fmt.Fprintf(os.Stderr, "riskroute: debug listener on http://%s/debug/pprof/\n", srv.Addr())
+		return nil
+	})
+}
+
+// telemetryFinish stops profilers, closes the debug listener, and emits the
+// exit report. Called once from main after the command returns; errors here
+// must not mask the command's own outcome, so they go to stderr.
+func telemetryFinish() {
+	if tel.cpuStop != nil {
+		if err := tel.cpuStop(); err != nil {
+			fmt.Fprintln(os.Stderr, "riskroute: cpu profile:", err)
+		}
+	}
+	if tel.memPath != "" {
+		if err := riskroute.WriteHeapProfile(tel.memPath); err != nil {
+			fmt.Fprintln(os.Stderr, "riskroute: heap profile:", err)
+		}
+	}
+	if tel.debug != nil {
+		tel.debug.Close()
+	}
+	if tel.mode != "text" && tel.mode != "json" {
+		return
+	}
+	tel.trace.End()
+	riskroute.CaptureRuntime(tel.reg)
+	rep := riskroute.BuildTelemetryReport(tel.reg, tel.trace)
+	var err error
+	if tel.mode == "json" {
+		err = rep.WriteJSON(os.Stderr)
+	} else {
+		err = rep.WriteText(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riskroute: telemetry report:", err)
+	}
+}

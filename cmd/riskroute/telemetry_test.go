@@ -1,0 +1,225 @@
+package main
+
+// Telemetry-facing CLI tests: the stats subcommand's machine-readable
+// report, the -telemetry exit report on ordinary subcommands, and
+// deterministic output checks for the outage and backup commands.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// report mirrors the JSON emitted by `riskroute stats` and `-telemetry json`.
+type telReport struct {
+	Trace   *spanNode `json:"trace"`
+	Metrics struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			Sum   float64 `json:"sum"`
+		} `json:"histograms"`
+	} `json:"metrics"`
+}
+
+type spanNode struct {
+	Name       string         `json:"name"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs"`
+	Children   []*spanNode    `json:"children"`
+}
+
+func (s *spanNode) find(name string) *spanNode {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if got := c.find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// runSplit runs the CLI capturing stdout and stderr separately — the
+// telemetry report goes to stderr and must not pollute command output.
+func runSplit(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(binPath, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("riskroute %s: %v\nstdout:\n%s\nstderr:\n%s",
+			strings.Join(args, " "), err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCLIStats(t *testing.T) {
+	stdout, _ := runSplit(t, append([]string{"stats"}, tiny...)...)
+	var rep telReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stats output is not JSON: %v\n%s", err, stdout)
+	}
+	if rep.Trace == nil {
+		t.Fatal("stats report has no trace")
+	}
+	for _, stage := range []string{"parse", "fit", "engine-build", "sweep"} {
+		span := rep.Trace.find(stage)
+		if span == nil {
+			t.Errorf("stats trace missing %q span", stage)
+			continue
+		}
+		if span.DurationNS <= 0 {
+			t.Errorf("%s span has non-positive duration %d ns", stage, span.DurationNS)
+		}
+	}
+	if pairs := rep.Metrics.Counters["core.sweep.pairs_total"]; pairs <= 0 {
+		t.Errorf("core.sweep.pairs_total = %d, want > 0", pairs)
+	}
+	if lines := rep.Metrics.Counters["topology.parse.lines_total"]; lines <= 0 {
+		t.Errorf("topology.parse.lines_total = %d, want > 0", lines)
+	}
+	if h, ok := rep.Metrics.Histograms["core.engine.build_seconds"]; !ok || h.Count == 0 {
+		t.Errorf("core.engine.build_seconds histogram missing or empty: %+v", h)
+	}
+	if _, ok := rep.Metrics.Gauges["runtime.goroutines"]; !ok {
+		t.Error("report missing runtime.goroutines gauge")
+	}
+}
+
+func TestCLIStatsText(t *testing.T) {
+	stdout, _ := runSplit(t, append([]string{"stats", "-format", "text", "-network", "Abilene"}, tiny...)...)
+	for _, want := range []string{"span", "sweep", "core.sweep.pairs_total", "hazard.fit.sources_total"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stats text report missing %q:\n%.400s", want, stdout)
+		}
+	}
+	runExpectError(t, "stats", "-format", "yaml")
+}
+
+func TestCLITelemetryFlag(t *testing.T) {
+	args := append([]string{"outage", "-storm", "Sandy", "-network", "Abilene", "-telemetry", "json"}, tiny...)
+	stdout, stderr := runSplit(t, args...)
+	// Command output stays on stdout, untouched by the report.
+	if !strings.Contains(stdout, "failed PoPs") {
+		t.Errorf("outage stdout missing command output:\n%s", stdout)
+	}
+	if strings.Contains(stdout, `"metrics"`) {
+		t.Error("telemetry report leaked onto stdout")
+	}
+	var rep telReport
+	if err := json.Unmarshal([]byte(stderr), &rep); err != nil {
+		t.Fatalf("-telemetry json stderr is not JSON: %v\n%s", err, stderr)
+	}
+	if rep.Trace == nil || rep.Trace.Name != "outage" {
+		t.Fatalf("root span = %+v, want name \"outage\"", rep.Trace)
+	}
+	// outage builds an engine but never runs the all-pairs sweep, so only
+	// the fit and build stages appear.
+	for _, stage := range []string{"fit", "engine-build"} {
+		if span := rep.Trace.find(stage); span == nil || span.DurationNS <= 0 {
+			t.Errorf("-telemetry trace missing live %q span: %+v", stage, span)
+		}
+	}
+}
+
+func TestCLITelemetryHealthBridge(t *testing.T) {
+	// check attaches a PipelineHealth and runs a full Evaluate, so the
+	// report carries the sweep span plus the bridged pipeline.* counters.
+	args := append([]string{"check", "-network", "Abilene", "-telemetry", "json"}, tiny...)
+	stdout, stderr := runSplit(t, args...)
+	if !strings.Contains(stdout, "risk reduction") {
+		t.Errorf("check stdout missing command output:\n%s", stdout)
+	}
+	var rep telReport
+	if err := json.Unmarshal([]byte(stderr), &rep); err != nil {
+		t.Fatalf("-telemetry json stderr is not JSON: %v\n%s", err, stderr)
+	}
+	for _, stage := range []string{"fit", "engine-build", "sweep"} {
+		if span := rep.Trace.find(stage); span == nil || span.DurationNS <= 0 {
+			t.Errorf("-telemetry trace missing live %q span: %+v", stage, span)
+		}
+	}
+	if rep.Metrics.Counters["pipeline.hazard.ok_total"] <= 0 {
+		t.Error("health bridge counter pipeline.hazard.ok_total not recorded")
+	}
+}
+
+func TestCLITelemetryOffIsSilent(t *testing.T) {
+	args := append([]string{"route", "-network", "Abilene", "-from", "Seattle", "-to", "Atlanta", "-telemetry", "off"}, tiny...)
+	_, stderr := runSplit(t, args...)
+	if stderr != "" {
+		t.Errorf("-telemetry off still wrote to stderr:\n%s", stderr)
+	}
+}
+
+// miniTopo is a three-city Gulf line with a redundant long-haul edge, small
+// enough that outage and backup outputs are fully predictable.
+const miniTopo = `network|MiniNet|tier1
+pop|A|29.95|-90.07|LA
+pop|B|32.30|-90.18|MS
+pop|C|35.15|-90.05|TN
+link|A|B
+link|B|C
+link|A|C
+`
+
+func writeMiniTopo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mini.topo")
+	if err := os.WriteFile(path, []byte(miniTopo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIOutageDeterministic(t *testing.T) {
+	path := writeMiniTopo(t)
+	args := append([]string{"outage", "-topology", path, "-network", "MiniNet", "-storm", "Katrina"}, tiny...)
+	out := run(t, args...)
+	// Katrina's hurricane-force field covers New Orleans: PoP A fails,
+	// B and C survive and stay connected over the B--C link.
+	for _, want := range []string{
+		"MiniNet under Katrina",
+		"failed PoPs:        1 of 3",
+		"- A",
+		"disconnected pairs: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("outage output missing %q:\n%s", want, out)
+		}
+	}
+	if again := run(t, args...); again != out {
+		t.Error("outage output not deterministic for a fixed world seed")
+	}
+}
+
+func TestCLIBackupDeterministic(t *testing.T) {
+	path := writeMiniTopo(t)
+	args := append([]string{"backup", "-topology", path, "-network", "MiniNet", "-from", "A", "-to", "C"}, tiny...)
+	out := run(t, args...)
+	if !strings.Contains(out, "fast-reroute plan, MiniNet: A -> C") {
+		t.Errorf("backup header:\n%s", out)
+	}
+	// The triangle always leaves a detour: no single link failure may
+	// disconnect the pair.
+	if strings.Contains(out, "DISCONNECTED") {
+		t.Errorf("triangle topology reported a disconnection:\n%s", out)
+	}
+	if strings.Count(out, "if ") < 1 {
+		t.Errorf("backup lists no failure cases:\n%s", out)
+	}
+	if again := run(t, args...); again != out {
+		t.Error("backup output not deterministic for a fixed world seed")
+	}
+}

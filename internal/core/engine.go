@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"riskroute/internal/graph"
+	"riskroute/internal/obs"
 	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
 	"riskroute/internal/topology"
@@ -52,6 +54,15 @@ type Options struct {
 	// Health receives build checkpoints (component count, unreachable
 	// pairs on fragmented topologies) and sweep degradations.
 	Health *resilience.Health
+	// Metrics, when non-nil, receives engine telemetry under core.engine.*
+	// and core.sweep.* (build/prebuild timings, per-source sweep durations,
+	// pair counts, worker gauge). Handles are resolved once at build; the
+	// sweep inner loops stay untouched, so disabled telemetry costs nothing
+	// and enabled telemetry stays within the ≤2% Evaluate budget.
+	Metrics *obs.Registry
+	// Trace, when non-nil, is the parent span under which the engine opens
+	// "engine-build" and per-evaluation "sweep" children.
+	Trace *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -64,10 +75,43 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// engineObs caches the engine's metric handles, resolved once at build so
+// evaluations never take the registry lock. The zero value (nil handles, the
+// telemetry-disabled state) no-ops everywhere.
+type engineObs struct {
+	buildSeconds    *obs.Histogram // core.engine.build_seconds
+	prebuildSeconds *obs.Histogram // core.engine.prebuild_seconds
+	sourceSeconds   *obs.Histogram // core.sweep.source_seconds (one sweep per source)
+	pairs           *obs.Counter   // core.sweep.pairs_total
+	skippedSweeps   *obs.Counter   // core.sweep.skipped_total
+	evaluations     *obs.Counter   // core.engine.evaluations_total
+	workers         *obs.Gauge     // core.sweep.workers
+	unreachable     *obs.Gauge     // core.engine.unreachable_pairs
+	alphaBuckets    *obs.Gauge     // core.engine.alpha_buckets
+}
+
+func newEngineObs(r *obs.Registry) engineObs {
+	if r == nil {
+		return engineObs{}
+	}
+	return engineObs{
+		buildSeconds:    r.Histogram("core.engine.build_seconds", obs.LatencyBuckets()),
+		prebuildSeconds: r.Histogram("core.engine.prebuild_seconds", obs.LatencyBuckets()),
+		sourceSeconds:   r.Histogram("core.sweep.source_seconds", obs.LatencyBuckets()),
+		pairs:           r.Counter("core.sweep.pairs_total"),
+		skippedSweeps:   r.Counter("core.sweep.skipped_total"),
+		evaluations:     r.Counter("core.engine.evaluations_total"),
+		workers:         r.Gauge("core.sweep.workers"),
+		unreachable:     r.Gauge("core.engine.unreachable_pairs"),
+		alphaBuckets:    r.Gauge("core.engine.alpha_buckets"),
+	}
+}
+
 // Engine answers RiskRoute queries for one risk context.
 type Engine struct {
 	Ctx  *risk.Context
 	opts Options
+	tel  engineObs
 
 	dist *graph.Graph // pure bit-mile graph
 
@@ -85,6 +129,8 @@ func New(ctx *risk.Context, opts Options) (*Engine, error) {
 	if err := opts.Injector.ForcedError(resilience.PointEngineBuild, 0); err != nil {
 		return nil, err
 	}
+	build := opts.Trace.Child("engine-build")
+	defer build.End()
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,6 +173,7 @@ func New(ctx *risk.Context, opts Options) (*Engine, error) {
 	e := &Engine{
 		Ctx:     ctx,
 		opts:    opts,
+		tel:     newEngineObs(opts.Metrics),
 		dist:    ctx.DistanceGraph(),
 		alphaLo: alphaLo,
 		alphaHi: alphaHi,
@@ -173,6 +220,14 @@ func New(ctx *risk.Context, opts Options) (*Engine, error) {
 		}
 	}
 	e.bucketGraphs = make([]*graph.Graph, k)
+
+	build.SetAttr("pops", len(ctx.Net.PoPs))
+	build.SetAttr("links", len(ctx.Net.Links))
+	build.SetAttr("alpha_buckets", k)
+	build.SetAttr("components", e.components)
+	e.tel.alphaBuckets.Set(float64(k))
+	e.tel.unreachable.Set(float64(e.unreachable))
+	e.tel.buildSeconds.Observe(build.End().Seconds())
 	return e, nil
 }
 
@@ -193,6 +248,7 @@ func (e *Engine) UnreachablePairs() int { return e.unreachable }
 func (e *Engine) skipSweep(i int) bool {
 	if err := e.opts.Injector.Fail(resilience.PointDijkstraSweep, uint64(i)); err != nil {
 		e.opts.Health.Degrade("engine", err, "sweep from PoP %d skipped", i)
+		e.tel.skippedSweeps.Inc()
 		return true
 	}
 	return false
@@ -228,6 +284,16 @@ func (e *Engine) bucketGraph(b int) *graph.Graph {
 		e.bucketGraphs[b] = e.Ctx.WeightedGraph(e.buckets[b])
 	}
 	return e.bucketGraphs[b]
+}
+
+// prebuildBuckets materializes every bucket graph up front so parallel
+// workers never race on the lazy initialization.
+func (e *Engine) prebuildBuckets() {
+	start := time.Now()
+	for b := range e.buckets {
+		e.bucketGraph(b)
+	}
+	e.tel.prebuildSeconds.Observe(time.Since(start).Seconds())
 }
 
 // PairResult describes one routed pair.
@@ -350,8 +416,14 @@ func (e *Engine) evaluateSubset(sources, dests []int) Ratios {
 		riskSum, distSum float64
 		pairs            int
 	}
+	sweep := e.opts.Trace.Child("sweep")
+	defer sweep.End()
+	workers := effectiveWorkers(len(sources), e.opts.Workers)
+	e.tel.workers.Set(float64(workers))
+	e.tel.evaluations.Inc()
 	e.prebuildBuckets()
-	partials := parallelMap(len(sources), e.opts.Workers, func(si int) partial {
+	partials := parallelMap(len(sources), workers, func(si int) partial {
+		started := time.Now()
 		i := sources[si]
 		var p partial
 		if e.skipSweep(i) {
@@ -394,6 +466,7 @@ func (e *Engine) evaluateSubset(sources, dests []int) Ratios {
 				p.pairs++
 			}
 		}
+		e.tel.sourceSeconds.Observe(time.Since(started).Seconds())
 		return p
 	})
 
@@ -404,6 +477,10 @@ func (e *Engine) evaluateSubset(sources, dests []int) Ratios {
 		distSum += p.distSum
 		pairs += p.pairs
 	}
+	e.tel.pairs.Add(int64(pairs))
+	sweep.SetAttr("sources", len(sources))
+	sweep.SetAttr("workers", workers)
+	sweep.SetAttr("pairs", pairs)
 	if pairs == 0 {
 		return Ratios{}
 	}
@@ -453,8 +530,12 @@ func (e *Engine) EvaluateExact() Ratios {
 // routing, exact-α pricing).
 func (e *Engine) TotalBitRisk() float64 {
 	n := e.N()
+	span := e.opts.Trace.Child("total-bit-risk")
+	defer span.End()
+	workers := effectiveWorkers(n, e.opts.Workers)
+	e.tel.workers.Set(float64(workers))
 	e.prebuildBuckets()
-	partials := parallelMap(n, e.opts.Workers, func(i int) float64 {
+	partials := parallelMap(n, workers, func(i int) float64 {
 		if e.skipSweep(i) {
 			return 0
 		}

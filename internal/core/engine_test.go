@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"riskroute/internal/geo"
+	"riskroute/internal/obs"
 	"riskroute/internal/risk"
 	"riskroute/internal/stats"
 	"riskroute/internal/topology"
@@ -470,5 +471,34 @@ func TestParallelDeterminism(t *testing.T) {
 	sub8 := par.EvaluateSubset([]int{0, 3, 7}, []int{10, 20, 24})
 	if sub1 != sub8 {
 		t.Errorf("subset: sequential %+v != parallel %+v", sub1, sub8)
+	}
+}
+
+// The telemetry overhead pair: Evaluate with instrumentation disabled (nil
+// registry and trace — every handle is a no-op) versus fully enabled. The
+// observability budget in DESIGN.md holds the On/Off delta to <= 2%.
+func BenchmarkEvaluateTelemetryOff(b *testing.B) {
+	ctx := gridNet(6, 6, 47)
+	e, err := New(ctx, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate()
+	}
+}
+
+func BenchmarkEvaluateTelemetryOn(b *testing.B) {
+	ctx := gridNet(6, 6, 47)
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace("bench")
+	e, err := New(ctx, Options{Metrics: reg, Trace: trace})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate()
 	}
 }

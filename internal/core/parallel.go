@@ -5,16 +5,26 @@ import (
 	"sync"
 )
 
-// parallelMap evaluates fn over 0..n-1 with at most workers goroutines and
-// returns the results index-aligned, so callers can reduce them in a fixed
-// order and keep floating-point results identical at any parallelism level.
-func parallelMap[T any](n, workers int, fn func(i int) T) []T {
+// effectiveWorkers resolves a Workers option against the job size: zero means
+// GOMAXPROCS, and there is never a reason to run more workers than items.
+func effectiveWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelMap evaluates fn over 0..n-1 with at most workers goroutines and
+// returns the results index-aligned, so callers can reduce them in a fixed
+// order and keep floating-point results identical at any parallelism level.
+func parallelMap[T any](n, workers int, fn func(i int) T) []T {
+	workers = effectiveWorkers(n, workers)
 	out := make([]T, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -22,8 +32,16 @@ func parallelMap[T any](n, workers int, fn func(i int) T) []T {
 		}
 		return out
 	}
+	// Buffer the whole work list and close the channel before any worker
+	// starts: the producer never blocks handing indices over one rendezvous
+	// at a time, and workers drain without a send-side goroutine to schedule
+	// against.
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -33,18 +51,6 @@ func parallelMap[T any](n, workers int, fn func(i int) T) []T {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return out
-}
-
-// prebuildBuckets materializes every bucket graph up front so parallel
-// workers never race on the lazy initialization.
-func (e *Engine) prebuildBuckets() {
-	for b := range e.buckets {
-		e.bucketGraph(b)
-	}
 }

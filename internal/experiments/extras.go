@@ -28,6 +28,7 @@ type ExtrasResult struct {
 
 // Extras runs the extension analyses at the lab's scale.
 func (l *Lab) Extras() (*ExtrasResult, error) {
+	defer l.track("extras")()
 	out := &ExtrasResult{
 		SeasonalNetwork:       "Costreet",
 		SeasonalRiskReduction: make(map[string]float64),

@@ -32,6 +32,7 @@ type Figure7Result struct {
 // Figure7 routes Houston→Boston on Level3 at λ_h ∈ {10⁴, 10⁵} with no
 // forecast, as in the paper.
 func (l *Lab) Figure7() (*Figure7Result, error) {
+	defer l.track("figure7")()
 	n := l.NetworkByName("Level3")
 	if n == nil {
 		return nil, fmt.Errorf("experiments: Level3 missing")
@@ -77,6 +78,7 @@ type Figure8Result struct {
 
 // Figure8 evaluates every regional network across the peering mesh.
 func (l *Lab) Figure8() (*Figure8Result, error) {
+	defer l.track("figure8")()
 	evals, err := l.evaluateRegionals(risk.Params{LambdaH: 1e5})
 	if err != nil {
 		return nil, err
@@ -114,6 +116,7 @@ type Figure9Result struct {
 // Figure9 computes the ten best additional links for the named network
 // (the paper shows Level3, AT&T, and Tinet).
 func (l *Lab) Figure9(network string, k int) (*Figure9Result, error) {
+	defer l.track("figure9")()
 	n := l.NetworkByName(network)
 	if n == nil {
 		return nil, fmt.Errorf("experiments: unknown network %q", network)
@@ -216,6 +219,7 @@ type Figure10Result struct {
 // Figure10 runs the greedy sweep for every Tier-1 network (the paper adds
 // up to 8 links).
 func (l *Lab) Figure10(k int) (*Figure10Result, error) {
+	defer l.track("figure10")()
 	if k <= 0 {
 		k = 8
 	}
@@ -258,6 +262,7 @@ type Figure11Result struct {
 // interdomain lower-bound objective. Networks with no candidate peers are
 // skipped (they already peer with every co-located network).
 func (l *Lab) Figure11() (*Figure11Result, error) {
+	defer l.track("figure11")()
 	names := l.RegionalNames()
 	out := &Figure11Result{}
 	for _, name := range names {

@@ -26,6 +26,7 @@ type Figure1Result struct {
 // Figure1 inventories and renders the two network corpora. The paper
 // reports 354 Tier-1 PoPs and 455 regional PoPs.
 func (l *Lab) Figure1() (*Figure1Result, error) {
+	defer l.track("figure1")()
 	out := &Figure1Result{}
 	var t1Pts, regPts []geo.Point
 	for _, n := range l.Tier1 {
@@ -53,6 +54,7 @@ type Figure2Result struct {
 
 // Figure2 reports the embedded peering mesh.
 func (l *Lab) Figure2() (*Figure2Result, error) {
+	defer l.track("figure2")()
 	out := &Figure2Result{
 		Pairs:          append([][2]string(nil), datasets.PeeringPairs...),
 		PeersByNetwork: make(map[string][]string),
@@ -76,6 +78,7 @@ type Figure3Result struct {
 // Figure3 rasterizes the census and reports the Teliasonera nearest-neighbor
 // assignment.
 func (l *Lab) Figure3() (*Figure3Result, error) {
+	defer l.track("figure3")()
 	grid := geo.NewGrid(geo.ContinentalUS, 60, 140)
 	f := kde.NewField(grid)
 	f.Values = l.Census.DensityField(grid)
@@ -114,6 +117,7 @@ type Figure4Result struct {
 
 // Figure4 renders each fitted catalog's density surface.
 func (l *Lab) Figure4() (*Figure4Result, error) {
+	defer l.track("figure4")()
 	out := &Figure4Result{
 		Maps:          make(map[string]string),
 		PeakLocations: make(map[string]geo.Point),
@@ -155,6 +159,7 @@ type ForecastSnapshot struct {
 // Figure5 replays Irene and snapshots three advisories spread over the
 // storm (the paper shows Aug 25, 26, and 28, 2011).
 func (l *Lab) Figure5() (*Figure5Result, error) {
+	defer l.track("figure5")()
 	replay, err := forecast.LoadReplay(datasets.HurricaneByName("Irene"))
 	if err != nil {
 		return nil, err
@@ -203,6 +208,7 @@ type Figure6Result struct {
 // Figure6 replays all three storms and classifies every Tier-1 PoP against
 // each storm's cumulative wind fields.
 func (l *Lab) Figure6() (*Figure6Result, error) {
+	defer l.track("figure6")()
 	out := &Figure6Result{}
 	for i := range datasets.Hurricanes {
 		track := &datasets.Hurricanes[i]

@@ -8,11 +8,13 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"riskroute/internal/core"
 	"riskroute/internal/datasets"
 	"riskroute/internal/geo"
 	"riskroute/internal/hazard"
+	"riskroute/internal/obs"
 	"riskroute/internal/population"
 	"riskroute/internal/risk"
 	"riskroute/internal/topology"
@@ -46,6 +48,14 @@ type Config struct {
 	CVMaxEvents int
 	// Seed drives all synthetic generation (default 1).
 	Seed uint64
+	// Metrics, when non-nil, receives experiment telemetry: per-experiment
+	// wall times (experiments.<name>.seconds gauges) plus everything the
+	// underlying hazard fit and routing engines record.
+	Metrics *obs.Registry
+	// Trace, when non-nil, is the parent span: each experiment entry point
+	// opens a child named after itself, and the hazard fit and engine builds
+	// nest under it.
+	Trace *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -124,7 +134,11 @@ func NewLab(cfg Config) (*Lab, error) {
 			Bandwidth: et.PaperBandwidth(),
 		})
 	}
-	model, err := hazard.Fit(sources, hazard.FitConfig{CellMiles: cfg.CellMiles})
+	model, err := hazard.Fit(sources, hazard.FitConfig{
+		CellMiles: cfg.CellMiles,
+		Metrics:   cfg.Metrics,
+		Trace:     cfg.Trace,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hazard fit: %w", err)
 	}
@@ -194,7 +208,26 @@ func (l *Lab) EngineFor(n *topology.Network, params risk.Params, forecast []floa
 	if err != nil {
 		return nil, err
 	}
-	return core.New(ctx, core.Options{AlphaBuckets: l.Cfg.AlphaBuckets})
+	return core.New(ctx, core.Options{
+		AlphaBuckets: l.Cfg.AlphaBuckets,
+		Metrics:      l.Cfg.Metrics,
+		Trace:        l.Cfg.Trace,
+	})
+}
+
+// track times one experiment: it opens a child span named after the
+// experiment and returns the closer that callers defer. Wall time lands in
+// experiments.<name>.seconds so the `riskroute stats` report shows where a
+// full reproduction run spends its time.
+func (l *Lab) track(name string) func() {
+	started := time.Now()
+	span := l.Cfg.Trace.Child(name)
+	return func() {
+		span.End()
+		l.Cfg.Metrics.Gauge("experiments." + name + ".seconds").
+			Set(time.Since(started).Seconds())
+		l.Cfg.Metrics.Counter("experiments.runs_total").Inc()
+	}
 }
 
 // NetworkByName finds a lab network by name, or nil.
@@ -219,5 +252,9 @@ func (l *Lab) RegionalNames() []string {
 // newEngineForLab builds an engine with the lab's bucket configuration for
 // an already-assembled context.
 func newEngineForLab(l *Lab, ctx *risk.Context) (*core.Engine, error) {
-	return core.New(ctx, core.Options{AlphaBuckets: l.Cfg.AlphaBuckets})
+	return core.New(ctx, core.Options{
+		AlphaBuckets: l.Cfg.AlphaBuckets,
+		Metrics:      l.Cfg.Metrics,
+		Trace:        l.Cfg.Trace,
+	})
 }

@@ -37,6 +37,7 @@ func advisoryLabel(a *forecast.Advisory) string {
 // from the parsed advisory corpus (ρ_t = 50, ρ_h = 100, λ_h = 10⁵,
 // λ_f = 10³). Only every ReplayStride-th advisory is evaluated.
 func (l *Lab) Figure12(storm string) (*ReplayResult, error) {
+	defer l.track("figure12")()
 	track := datasets.HurricaneByName(storm)
 	if track == nil {
 		return nil, fmt.Errorf("experiments: unknown storm %q", storm)
@@ -76,6 +77,7 @@ func (l *Lab) Figure12(storm string) (*ReplayResult, error) {
 // risk-reduction ratios for the regional networks with more than 20% of
 // their PoPs inside the storm's final scope.
 func (l *Lab) Figure13(storm string) (*ReplayResult, error) {
+	defer l.track("figure13")()
 	track := datasets.HurricaneByName(storm)
 	if track == nil {
 		return nil, fmt.Errorf("experiments: unknown storm %q", storm)

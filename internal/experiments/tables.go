@@ -32,6 +32,7 @@ type Table1Result struct {
 // procedure. CV subsamples catalogs above a cap for tractability (the
 // likelihood surface is smooth in σ, so the winner is stable).
 func (l *Lab) Table1() (*Table1Result, error) {
+	defer l.track("table1")()
 	out := &Table1Result{}
 	for _, et := range datasets.EventTypes {
 		events := l.EventsFor(et)
@@ -40,6 +41,7 @@ func (l *Lab) Table1() (*Table1Result, error) {
 			Candidates: kde.LogGrid(2, 600, l.Cfg.CVCandidates),
 			MaxEvents:  l.Cfg.CVMaxEvents,
 			Seed:       l.Cfg.Seed,
+			Metrics:    l.Cfg.Metrics,
 		})
 		out.Rows = append(out.Rows, Table1Row{
 			Event:           et.String(),
@@ -73,6 +75,7 @@ type Table2Result struct {
 // Table2 evaluates all-pairs intradomain RiskRoute for the seven Tier-1
 // networks at λ_h ∈ {10⁵, 10⁶} (no active forecast, as in the paper).
 func (l *Lab) Table2() (*Table2Result, error) {
+	defer l.track("table2")()
 	out := &Table2Result{}
 	for _, n := range l.Tier1 {
 		row := Table2Row{Network: n.Name, PoPs: len(n.PoPs)}
@@ -165,6 +168,7 @@ type Table3Result struct {
 // regional networks' interdomain risk-reduction and distance-increase ratios
 // (λ_h = 10⁵, as in the paper's Section 7.1.1).
 func (l *Lab) Table3() (*Table3Result, error) {
+	defer l.track("table3")()
 	evals, err := l.evaluateRegionals(risk.Params{LambdaH: 1e5})
 	if err != nil {
 		return nil, err

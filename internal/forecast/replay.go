@@ -139,6 +139,11 @@ func ParseCorpusLenient(storm string, texts []string,
 	}
 	health.Record("replay", "%s: %d/%d advisories parsed, %d carried forward",
 		storm, parsed, len(texts), carried)
+	// Line accounting rides the health report's registry (Health.AttachMetrics).
+	reg := health.Metrics()
+	reg.Counter("forecast.replay.parsed_total").Add(int64(parsed))
+	reg.Counter("forecast.replay.carried_total").Add(int64(carried))
+	reg.Counter("forecast.replay.advisories_total").Add(int64(len(texts)))
 	return r, nil
 }
 

@@ -19,9 +19,11 @@ package hazard
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"riskroute/internal/geo"
 	"riskroute/internal/kde"
+	"riskroute/internal/obs"
 	"riskroute/internal/resilience"
 	"riskroute/internal/topology"
 )
@@ -99,6 +101,15 @@ type FitConfig struct {
 	Injector *resilience.Injector
 	// Health receives per-source fit checkpoints and degradations.
 	Health *resilience.Health
+	// Metrics, when non-nil, receives fit telemetry under hazard.fit.*:
+	// per-source timings, the bandwidth each catalog settled on
+	// (hazard.fit.bandwidth_miles.<source>), event and drop counts. It is
+	// also threaded into cross-validation (kde.cv.*) for sources whose
+	// bandwidth Fit has to select.
+	Metrics *obs.Registry
+	// Trace, when non-nil, is the parent span under which Fit opens a "fit"
+	// child with one nested span per catalog.
+	Trace *obs.Span
 }
 
 func (c FitConfig) withDefaults() FitConfig {
@@ -154,6 +165,11 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 		panic("hazard: Fit with no sources")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.CV.Metrics == nil {
+		cfg.CV.Metrics = cfg.Metrics
+	}
+	fit := cfg.Trace.Child("fit")
+	defer fit.End()
 	m := &Model{}
 
 	// fitErr classifies one source's failure before any expensive work.
@@ -175,17 +191,29 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 	}
 
 	for i, s := range sources {
+		srcStart := time.Now()
+		src := fit.Child(s.Name)
+		src.SetAttr("events", len(s.Events))
 		if err := fitErr(i, s); err != nil {
 			if !cfg.Lenient {
+				src.SetAttr("dropped", true)
+				src.End()
 				return nil, err
 			}
 			m.Lost = append(m.Lost, s.Name)
 			cfg.Health.Degrade("hazard", err, "dropped layer %q", s.Name)
+			cfg.Metrics.Counter("hazard.fit.dropped_total").Inc()
+			src.SetAttr("dropped", true)
+			src.End()
 			continue
 		}
 		bw := s.Bandwidth
 		if bw == 0 {
+			cvStart := time.Now()
 			bw = kde.SelectBandwidth(s.Events, cfg.CV).Bandwidth
+			cfg.Metrics.Histogram("hazard.fit.cv_seconds", obs.LatencyBuckets()).
+				Observe(time.Since(cvStart).Seconds())
+			src.SetAttr("cv", true)
 		}
 		est := kde.New(s.Events, bw)
 		grid := gridFor(cfg.Bounds, cfg.CellMiles, bw)
@@ -200,6 +228,13 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 			Field:     field,
 			estimator: est,
 		})
+		cfg.Metrics.Counter("hazard.fit.sources_total").Inc()
+		cfg.Metrics.Counter("hazard.fit.events_total").Add(int64(len(s.Events)))
+		cfg.Metrics.Gauge("hazard.fit.bandwidth_miles." + s.Name).Set(bw)
+		src.SetAttr("bandwidth_miles", bw)
+		src.End()
+		cfg.Metrics.Histogram("hazard.fit.source_seconds", obs.LatencyBuckets()).
+			Observe(time.Since(srcStart).Seconds())
 	}
 	if len(m.Sources) == 0 {
 		return nil, &resilience.DegradedError{

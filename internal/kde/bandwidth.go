@@ -2,8 +2,10 @@ package kde
 
 import (
 	"math"
+	"time"
 
 	"riskroute/internal/geo"
+	"riskroute/internal/obs"
 	"riskroute/internal/stats"
 )
 
@@ -26,6 +28,9 @@ type CVConfig struct {
 	Grid geo.Grid
 	// Seed drives fold assignment and subsampling.
 	Seed uint64
+	// Metrics, when non-nil, receives cross-validation telemetry under
+	// kde.cv.* (sweep timing histogram, events used, candidates scored).
+	Metrics *obs.Registry
 }
 
 func (c CVConfig) withDefaults() CVConfig {
@@ -81,6 +86,14 @@ func SelectBandwidth(events []geo.Point, cfg CVConfig) CVResult {
 	if len(events) < 2*cfg.Folds {
 		panic("kde: too few events for cross-validation")
 	}
+	started := time.Now()
+	defer func() {
+		cfg.Metrics.Histogram("kde.cv.sweep_seconds", obs.LatencyBuckets()).
+			Observe(time.Since(started).Seconds())
+		cfg.Metrics.Counter("kde.cv.sweeps_total").Inc()
+		cfg.Metrics.Counter("kde.cv.candidates_total").Add(int64(len(cfg.Candidates)))
+		cfg.Metrics.Gauge("kde.cv.events_used").Set(float64(len(events)))
+	}()
 	rng := stats.NewRNG(cfg.Seed)
 	if cfg.MaxEvents > 0 && len(events) > cfg.MaxEvents {
 		perm := rng.Perm(len(events))
@@ -182,6 +195,7 @@ func SelectBandwidthRefined(events []geo.Point, cfg CVConfig, iterations int) CV
 			MaxEvents:  cfg.MaxEvents,
 			Grid:       cfg.Grid,
 			Seed:       cfg.Seed,
+			Metrics:    cfg.Metrics,
 		})
 		return r.Scores[0]
 	}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The hot-path costs the instrumented layers pay per operation. The engine
+// resolves handles once and touches only these in its sweeps, so these
+// numbers bound the telemetry overhead of Evaluate.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench.total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("bench.total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench.gauge")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench.seconds", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.017)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench.seconds", LatencyBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.017)
+		}
+	})
+}
+
+func BenchmarkSpanChildEnd(b *testing.B) {
+	root := NewTrace("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root.Child("stage").End()
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench.lookup.total").Inc()
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 64; i++ {
+		r.Counter("bench.counter." + string(rune('a'+i%26))).Inc()
+		r.Histogram("bench.hist."+string(rune('a'+i%26)), LatencyBuckets()).
+			Observe(time.Duration(i).Seconds())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

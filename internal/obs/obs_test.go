@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", LatencyBuckets())
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	CaptureRuntime(r) // must not panic
+
+	var sp *Span
+	if sp.Child("c") != nil {
+		t.Error("nil span must hand out nil children")
+	}
+	sp.SetAttr("k", 1)
+	if sp.End() != 0 || sp.Duration() != 0 || sp.Name() != "" {
+		t.Error("nil span must read as zero")
+	}
+	if ss := sp.Snapshot(); ss.Name != "" || len(ss.Children) != 0 {
+		t.Error("nil span snapshot must be zero")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b.total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("a.b.total") != c {
+		t.Error("same name must return the same counter")
+	}
+
+	g := r.Gauge("a.b.workers")
+	g.Set(8)
+	g.Add(-3)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %g, want 5", g.Value())
+	}
+
+	h := r.Histogram("a.b.seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("hist sum = %g, want 56.05", h.Sum())
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["a.b.seconds"]
+	want := []int64{1, 2, 1, 1}
+	if len(hs.Counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(hs.Counts), len(want))
+	}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared.total").Inc()
+				r.Gauge("shared.gauge").Set(float64(i))
+				r.Histogram("shared.seconds", LatencyBuckets()).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.total").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared.seconds", nil).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewTrace("run")
+	parse := root.Child("parse")
+	parse.SetAttr("lines", 42)
+	parse.SetAttr("lines", 43) // overwrite
+	time.Sleep(time.Millisecond)
+	parse.End()
+	fit := root.Child("fit")
+	fit.Child("hurricane").End()
+	fit.End()
+	root.End()
+
+	ss := root.Snapshot()
+	if len(ss.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(ss.Children))
+	}
+	p := ss.Find("parse")
+	if p == nil {
+		t.Fatal("parse span missing")
+	}
+	if p.DurationNS <= 0 {
+		t.Error("parse span has no duration")
+	}
+	if p.Attrs["lines"] != 43 {
+		t.Errorf("attr lines = %v, want 43", p.Attrs["lines"])
+	}
+	if ss.Find("hurricane") == nil {
+		t.Error("nested span not reachable from root")
+	}
+	if ss.Find("nope") != nil {
+		t.Error("Find invented a span")
+	}
+	// End is idempotent: the frozen duration survives later Ends.
+	d1 := parse.End()
+	if d2 := parse.End(); d2 != d1 {
+		t.Errorf("End not idempotent: %v then %v", d1, d2)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewTrace("run")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("worker")
+			c.SetAttr("ok", true)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	if got := len(root.Snapshot().Children); got != 16 {
+		t.Errorf("children = %d, want 16", got)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.sweep.pairs_total").Add(10)
+	r.Gauge("core.sweep.workers").Set(4)
+	r.Histogram("core.engine.build_seconds", LatencyBuckets()).Observe(0.02)
+	root := NewTrace("stats")
+	root.Child("sweep").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := BuildReport(r, root).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if rep.Metrics.Counters["core.sweep.pairs_total"] != 10 {
+		t.Error("counter lost in round trip")
+	}
+	if rep.Trace == nil || rep.Trace.Find("sweep") == nil {
+		t.Error("trace lost in round trip")
+	}
+
+	var txt bytes.Buffer
+	if err := BuildReport(r, root).WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"span stats", "sweep", "core.sweep.pairs_total", "gauge", "hist"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+}
+
+func TestCaptureRuntime(t *testing.T) {
+	r := NewRegistry()
+	CaptureRuntime(r)
+	s := r.Snapshot()
+	if s.Gauges["runtime.goroutines"] < 1 {
+		t.Error("goroutine gauge not captured")
+	}
+	if s.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Error("heap gauge not captured")
+	}
+	if s.Gauges["runtime.go.sched.goroutines_goroutines"] < 1 {
+		t.Error("runtime/metrics sample not captured")
+	}
+}
+
+func TestProfilesAndDebugServer(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartCPUProfile(dir + "/cpu.pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeapProfile(dir + "/heap.pprof"); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry()
+	r.Counter("demo.total").Inc()
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/telemetry", "/debug/vars"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !json.Valid(body) {
+			t.Errorf("GET %s: body is not JSON: %.120s", path, body)
+		}
+		if !strings.Contains(string(body), "demo.total") {
+			t.Errorf("GET %s: metric missing from body", path)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CaptureRuntime records the Go runtime's vital signs into the registry as
+// gauges: goroutine count, heap sizes, GC activity (via runtime.MemStats),
+// plus a curated set of runtime/metrics samples. Call it at report time —
+// ReadMemStats stops the world briefly, so it does not belong in hot loops.
+func CaptureRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("runtime.gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+	r.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("runtime.total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	r.Gauge("runtime.mallocs_total").Set(float64(ms.Mallocs))
+	r.Gauge("runtime.gc_runs").Set(float64(ms.NumGC))
+	r.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/objects:objects"},
+		{Name: "/cpu/classes/gc/total:cpu-seconds"},
+		{Name: "/cpu/classes/total:cpu-seconds"},
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		var v float64
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(s.Value.Uint64())
+		case metrics.KindFloat64:
+			v = s.Value.Float64()
+		default:
+			continue // unsupported on this runtime version; skip
+		}
+		r.Gauge(runtimeMetricName(s.Name)).Set(v)
+	}
+}
+
+// runtimeMetricName maps "/gc/heap/allocs:bytes" to
+// "runtime.go.gc.heap.allocs_bytes", keeping the registry's dotted scheme.
+func runtimeMetricName(name string) string {
+	name = strings.TrimPrefix(name, "/")
+	name = strings.ReplaceAll(name, "/", ".")
+	name = strings.ReplaceAll(name, ":", "_")
+	name = strings.ReplaceAll(name, "-", "_")
+	return "runtime.go." + name
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns the stop
+// function that ends the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile dumps a heap profile to path, running a GC first so the
+// profile reflects live objects.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// DebugServer is a running debug HTTP listener (see ServeDebug).
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// expvarReg is the registry the process-wide expvar export reads from; the
+// latest ServeDebug call wins. expvar.Publish is once-per-process.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// ServeDebug starts an opt-in debug HTTP listener on addr exposing
+//
+//	/debug/vars    expvar (including the registry under "riskroute_metrics")
+//	/debug/pprof/  the full net/http/pprof surface
+//	/telemetry     the registry as JSON, with runtime stats captured fresh
+//
+// The listener runs until Close. It is deliberately not started anywhere by
+// default — production paths must opt in (the CLI gates it behind
+// -debug-addr).
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("riskroute_metrics", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		CaptureRuntime(r)
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, fmt.Sprintf("encoding snapshot: %v", err),
+				http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &DebugServer{srv: srv, addr: ln.Addr().String()}, nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a pipeline run. Spans form a tree: NewTrace
+// starts a root, Child starts a nested stage, End freezes its duration.
+// Timings are monotonic (time.Time carries the monotonic clock), so spans
+// are immune to wall-clock adjustments. A nil *Span ignores all operations
+// and hands out nil children, so instrumented code threads spans
+// unconditionally, exactly like a nil Registry.
+//
+// Spans are concurrency-safe: parallel stages may create children of the
+// same parent, and attributes may be set from worker goroutines.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key   string
+	value any
+}
+
+// NewTrace starts a root span for one pipeline run.
+func NewTrace(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a nested span under s (nil on a nil span).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key/value attribute to the span (no-op on nil). Later
+// sets of the same key overwrite.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key: key, value: value})
+}
+
+// End freezes the span's duration and returns it. Repeated Ends keep the
+// first duration. End on a nil span returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	return s.dur
+}
+
+// Duration returns the frozen duration of an ended span, or the running
+// elapsed time otherwise (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SpanSnapshot is a span tree frozen for export. Durations are integral
+// nanoseconds so JSON consumers keep full precision.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the span and its subtree. Running spans snapshot with
+// their elapsed-so-far duration. A nil span yields a zero snapshot.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	ss := SpanSnapshot{Name: s.name, DurationNS: int64(s.dur)}
+	if !s.ended {
+		ss.DurationNS = int64(time.Since(s.start))
+	}
+	if len(s.attrs) > 0 {
+		ss.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			ss.Attrs[a.key] = a.value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock() // children have their own locks; don't hold the parent's
+	for _, c := range children {
+		ss.Children = append(ss.Children, c.Snapshot())
+	}
+	return ss
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// snapshot (including the receiver), or nil.
+func (ss *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if ss == nil {
+		return nil
+	}
+	if ss.Name == name {
+		return ss
+	}
+	for i := range ss.Children {
+		if found := ss.Children[i].Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// writeText renders the snapshot subtree indented by depth.
+func (ss *SpanSnapshot) writeText(w io.Writer, depth int) error {
+	pad := ""
+	for i := 0; i < depth; i++ {
+		pad += "  "
+	}
+	line := fmt.Sprintf("%sspan %-24s %12.3fms", pad, ss.Name,
+		float64(ss.DurationNS)/1e6)
+	for _, k := range sortedKeys(ss.Attrs) {
+		line += fmt.Sprintf("  %s=%v", k, ss.Attrs[k])
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for i := range ss.Children {
+		if err := ss.Children[i].writeText(w, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"riskroute/internal/obs"
 )
 
 // Severity classifies one health event.
@@ -48,12 +50,38 @@ type Event struct {
 // subcommand print it. A nil *Health ignores all records, so pipeline code
 // reports unconditionally.
 type Health struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	metrics *obs.Registry
 }
 
 // NewHealth returns an empty report.
 func NewHealth() *Health { return &Health{} }
+
+// AttachMetrics bridges health events into a telemetry registry: every event
+// recorded after the call also increments pipeline.<stage>.<severity>_total.
+// This is the single place where degraded-mode reporting and metrics meet —
+// stages call Record/Degrade/Fail once and both surfaces update.
+func (h *Health) AttachMetrics(r *obs.Registry) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.metrics = r
+	h.mu.Unlock()
+}
+
+// Metrics returns the attached registry (nil when detached or on a nil
+// Health), letting stages that already carry a Health reach the telemetry
+// registry without a second plumbing path.
+func (h *Health) Metrics() *obs.Registry {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.metrics
+}
 
 // Record appends an informational full-fidelity checkpoint.
 func (h *Health) Record(stage, format string, args ...any) {
@@ -76,7 +104,10 @@ func (h *Health) add(e Event) {
 	}
 	h.mu.Lock()
 	h.events = append(h.events, e)
+	r := h.metrics
 	h.mu.Unlock()
+	// Counter names follow the obs scheme: pipeline.<stage>.<severity>_total.
+	r.Counter("pipeline." + e.Stage + "." + e.Severity.String() + "_total").Inc()
 }
 
 // Events returns a copy of all recorded events in order.

@@ -86,6 +86,10 @@ func parse(r io.Reader, lenient bool, inj *resilience.Injector, health *resilien
 	curBroken := false // lenient: current network's header was unusable
 	popIdx := map[string]int{}
 	lineNo := 0
+	// Telemetry rides the health report's registry (Health.AttachMetrics):
+	// a single plumbing path covers both degraded-event counters and the
+	// parser's own line accounting. Nil-safe throughout.
+	reg := health.Metrics()
 
 	// reject aborts in strict mode and records-and-skips in lenient mode.
 	reject := func(err error) error {
@@ -93,6 +97,7 @@ func parse(r io.Reader, lenient bool, inj *resilience.Injector, health *resilien
 			return err
 		}
 		health.Degrade("topology", err, "skipped line %d", lineNo)
+		reg.Counter("topology.parse.skipped_total").Inc()
 		return nil
 	}
 
@@ -265,6 +270,12 @@ func parse(r io.Reader, lenient bool, inj *resilience.Injector, health *resilien
 	}
 	if err := finish(); err != nil {
 		return nil, err
+	}
+	reg.Counter("topology.parse.lines_total").Add(int64(lineNo))
+	reg.Counter("topology.parse.networks_total").Add(int64(len(networks)))
+	for _, n := range networks {
+		reg.Counter("topology.parse.pops_total").Add(int64(len(n.PoPs)))
+		reg.Counter("topology.parse.links_total").Add(int64(len(n.Links)))
 	}
 	return networks, nil
 }

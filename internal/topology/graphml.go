@@ -111,12 +111,17 @@ func parseGraphML(r io.Reader, name string, tier Tier, lenient bool, health *res
 		return nil, fmt.Errorf("topology: graphml has no Latitude/Longitude keys")
 	}
 
+	// Telemetry rides the health report's registry, same as the native
+	// format parser.
+	reg := health.Metrics()
+
 	// reject aborts in strict mode and records-and-skips in lenient mode.
 	reject := func(err error) error {
 		if !lenient {
 			return err
 		}
 		health.Degrade("topology", err, "graphml: skipped malformed element")
+		reg.Counter("topology.graphml.skipped_total").Inc()
 		return nil
 	}
 
@@ -197,6 +202,9 @@ func parseGraphML(r io.Reader, name string, tier Tier, lenient bool, health *res
 		seen[key] = true
 		n.Links = append(n.Links, Link{A: a, B: b})
 	}
+	reg.Counter("topology.graphml.nodes_total").Add(int64(len(doc.Graph.Nodes)))
+	reg.Counter("topology.graphml.pops_total").Add(int64(len(n.PoPs)))
+	reg.Counter("topology.graphml.links_total").Add(int64(len(n.Links)))
 	return n, nil
 }
 

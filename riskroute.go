@@ -41,6 +41,7 @@ import (
 	"riskroute/internal/geo"
 	"riskroute/internal/hazard"
 	"riskroute/internal/interdomain"
+	"riskroute/internal/obs"
 	"riskroute/internal/population"
 	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
@@ -485,6 +486,61 @@ func CheckAdvisoryCorpus(storm string, texts []string, inj *Injector) (*Replay, 
 	r, err := forecast.ParseCorpusLenient(storm, texts, inj, h)
 	return r, h, err
 }
+
+// Telemetry: the stdlib-only observability layer (see DESIGN.md,
+// "Observability"). A nil *Metrics registry hands out nil handles and a nil
+// *Span ignores all operations, so instrumented pipelines thread telemetry
+// unconditionally and disabled telemetry costs only nil checks.
+type (
+	// Metrics is a concurrency-safe registry of counters, gauges, and
+	// fixed-bucket histograms.
+	Metrics = obs.Registry
+	// Span is one timed stage of a pipeline run; spans form a per-run tree.
+	Span = obs.Span
+	// SpanSnapshot is a span tree frozen for export.
+	SpanSnapshot = obs.SpanSnapshot
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// TelemetryReport bundles a trace tree with a metrics snapshot.
+	TelemetryReport = obs.Report
+	// DebugServer is a running opt-in debug HTTP listener.
+	DebugServer = obs.DebugServer
+)
+
+// NewMetrics returns an empty telemetry registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTrace starts a root span for one pipeline run.
+func NewTrace(name string) *Span { return obs.NewTrace(name) }
+
+// CaptureRuntime records the Go runtime's vital signs into the registry.
+func CaptureRuntime(r *Metrics) { obs.CaptureRuntime(r) }
+
+// BuildTelemetryReport snapshots a registry and a trace (either may be nil).
+func BuildTelemetryReport(r *Metrics, trace *Span) TelemetryReport {
+	return obs.BuildReport(r, trace)
+}
+
+// StartCPUProfile begins a CPU profile written to path; call the returned
+// stop function to finish it.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	return obs.StartCPUProfile(path)
+}
+
+// WriteHeapProfile dumps a heap profile to path (after a GC).
+func WriteHeapProfile(path string) error { return obs.WriteHeapProfile(path) }
+
+// ServeDebug starts the opt-in debug HTTP listener (expvar, net/http/pprof,
+// /telemetry) on addr.
+func ServeDebug(addr string, r *Metrics) (*DebugServer, error) {
+	return obs.ServeDebug(addr, r)
+}
+
+// LatencyBuckets returns the default duration histogram bounds in seconds.
+func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
+
+// SizeBuckets returns the default size/count histogram bounds.
+func SizeBuckets() []float64 { return obs.SizeBuckets() }
 
 // Experiments (paper reproduction harness).
 type (
