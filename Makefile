@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: tier1 tier2 fuzz-smoke bench
+# BENCH_BASELINE / BENCH_NEW name the checked-in summaries the regression
+# gate compares; BENCH_THRESHOLD is the min-ns/op slowdown (percent) that
+# fails bench-compare.
+BENCH_BASELINE ?= BENCH_PR2.json
+BENCH_NEW ?= BENCH_PR3.json
+BENCH_THRESHOLD ?= 10
+
+.PHONY: tier1 tier2 fuzz-smoke bench bench-compare
 
 # tier1 is the gate every change must keep green: full build + test suite.
 tier1:
@@ -16,15 +23,22 @@ tier2: tier1
 	$(MAKE) fuzz-smoke
 
 # bench runs every benchmark three times and distills the text output into
-# BENCH_PR2.json (per-benchmark min/mean ns/op plus the telemetry overhead
+# $(BENCH_NEW) (per-benchmark min/mean ns/op plus the telemetry overhead
 # ratio from the EvaluateTelemetryOff/On pair — budget: <= 2%, see DESIGN.md).
 # The focused -count=10 pass tightens the noise floor on the overhead pair.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 ./... | tee bench.out
 	$(GO) test -run='^$$' -bench='EvaluateTelemetry' -count=10 -benchtime=0.5s ./internal/core | tee -a bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR2.json \
+	$(GO) run ./cmd/benchjson -o $(BENCH_NEW) \
 		-overhead-off EvaluateTelemetryOff -overhead-on EvaluateTelemetryOn bench.out
 	@rm -f bench.out
+
+# bench-compare diffs the new summary against the checked-in baseline and
+# exits nonzero when any benchmark's min ns/op regressed by at least
+# $(BENCH_THRESHOLD) percent. Run `make bench` first to produce $(BENCH_NEW).
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) \
+		$(BENCH_BASELINE) $(BENCH_NEW)
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/topology

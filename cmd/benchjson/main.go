@@ -10,6 +10,13 @@
 //
 // Input may also be given as file arguments. Lines that are not benchmark
 // results (package headers, PASS/ok, cpu info) are ignored.
+//
+// With -compare it becomes a regression gate over two of its own JSON
+// summaries: it diffs the min ns/op of every benchmark present in both,
+// prints a per-benchmark delta table, and exits nonzero when any benchmark
+// slowed down by at least -threshold percent:
+//
+//	go run ./cmd/benchjson -compare -threshold 10 BENCH_PR2.json BENCH_PR3.json
 package main
 
 import (
@@ -55,7 +62,28 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	offName := flag.String("overhead-off", "", "baseline benchmark for the overhead ratio (substring match)")
 	onName := flag.String("overhead-on", "", "instrumented benchmark for the overhead ratio (substring match)")
+	compare := flag.Bool("compare", false, "compare two JSON summaries: benchjson -compare OLD NEW")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two file arguments (OLD NEW), got %d", flag.NArg()))
+		}
+		old, err := loadSummary(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		new_, err := loadSummary(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		regressed := compareSummaries(os.Stdout, old, new_, *threshold)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	agg := map[string]*result{}
 	var order []string
@@ -177,6 +205,66 @@ func parseLine(line string) (result, bool) {
 		}
 	}
 	return res, ok
+}
+
+// loadSummary reads one of benchjson's own JSON summaries back.
+func loadSummary(path string) (*summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in summary", path)
+	}
+	return &s, nil
+}
+
+// compareSummaries prints the per-benchmark delta table (min ns/op, the
+// noise-floor estimator) and reports whether any benchmark present in both
+// summaries slowed down by at least threshold percent. Benchmarks only in
+// one summary are noted but never fail the gate.
+func compareSummaries(w io.Writer, old, new_ *summary, threshold float64) bool {
+	oldBy := make(map[string]result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]result, len(new_.Benchmarks))
+	for _, r := range new_.Benchmarks {
+		newBy[r.Name] = r
+	}
+
+	regressed := false
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range new_.Benchmarks {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOpMin, "new")
+			continue
+		}
+		delta := 100 * (nr.NsPerOpMin - or.NsPerOpMin) / or.NsPerOpMin
+		mark := ""
+		if delta >= threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n",
+			nr.Name, or.NsPerOpMin, nr.NsPerOpMin, delta, mark)
+	}
+	for _, or := range old.Benchmarks {
+		if _, ok := newBy[or.Name]; !ok {
+			fmt.Fprintf(w, "%-52s %14.0f %14s %9s\n", or.Name, or.NsPerOpMin, "-", "gone")
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nFAIL: at least one benchmark regressed >= %.1f%%\n", threshold)
+	} else {
+		fmt.Fprintf(w, "\nOK: no benchmark regressed >= %.1f%%\n", threshold)
+	}
+	return regressed
 }
 
 func find(rs []result, substr string) *result {

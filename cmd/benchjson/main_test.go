@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	res, ok := parseLine("BenchmarkEvaluateGrid36-8   \t 597\t   1839751 ns/op\t  605247 B/op\t    3959 allocs/op")
@@ -30,5 +38,96 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("non-result line parsed as benchmark: %q", line)
 		}
+	}
+}
+
+func mkSummary(pairs map[string]float64) *summary {
+	s := &summary{}
+	var names []string
+	for n := range pairs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Benchmarks = append(s.Benchmarks, result{Name: n, Runs: 1, NsPerOpMin: pairs[n], NsPerOpMean: pairs[n]})
+	}
+	return s
+}
+
+func TestCompareSummariesRegression(t *testing.T) {
+	old := mkSummary(map[string]float64{
+		"BenchmarkEvaluate": 1000,
+		"BenchmarkParse":    500,
+	})
+	// Evaluate slowed 20% — at a 10% threshold that's a regression.
+	slow := mkSummary(map[string]float64{
+		"BenchmarkEvaluate": 1200,
+		"BenchmarkParse":    505,
+	})
+	var buf bytes.Buffer
+	if !compareSummaries(&buf, old, slow, 10) {
+		t.Fatalf("20%% slowdown at 10%% threshold should regress:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("output missing regression markers:\n%s", out)
+	}
+	if !strings.Contains(out, "+20.0%") {
+		t.Fatalf("output missing delta:\n%s", out)
+	}
+
+	// Same files at a looser threshold: clean.
+	buf.Reset()
+	if compareSummaries(&buf, old, slow, 25) {
+		t.Fatalf("20%% slowdown at 25%% threshold should pass:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "OK:") {
+		t.Fatalf("clean compare should say OK:\n%s", buf.String())
+	}
+}
+
+func TestCompareSummariesNewAndGone(t *testing.T) {
+	old := mkSummary(map[string]float64{
+		"BenchmarkKept":    100,
+		"BenchmarkRemoved": 100,
+	})
+	cur := mkSummary(map[string]float64{
+		"BenchmarkKept":  99,
+		"BenchmarkAdded": 1e9, // huge, but new benchmarks never fail the gate
+	})
+	var buf bytes.Buffer
+	if compareSummaries(&buf, old, cur, 10) {
+		t.Fatalf("added/removed benchmarks must not trip the gate:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "new") || !strings.Contains(out, "gone") {
+		t.Fatalf("output should note new and gone rows:\n%s", out)
+	}
+}
+
+func TestLoadSummary(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	data, _ := json.Marshal(mkSummary(map[string]float64{"BenchmarkX": 10}))
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := loadSummary(good)
+	if err != nil || len(s.Benchmarks) != 1 {
+		t.Fatalf("loadSummary: %v %+v", err, s)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644)
+	if _, err := loadSummary(empty); err == nil {
+		t.Fatal("empty summary should be an error")
+	}
+	if _, err := loadSummary(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should be an error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := loadSummary(bad); err == nil {
+		t.Fatal("malformed JSON should be an error")
 	}
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -25,6 +26,9 @@ func main() {
 	eventScale := flag.Float64("event-scale", 0, "disaster catalog scale (0 = default 1.0)")
 	stride := flag.Int("stride", 0, "advisory stride for replays (0 = default 5)")
 	seed := flag.Uint64("seed", 0, "world seed (0 = default 1)")
+	logMode := flag.String("log", "off", "structured log stream to stderr: text, json, or off")
+	traceOut := flag.String("trace-out", "", "write the run's trace as Chrome trace-event JSON to `file`")
+	runsDir := flag.String("runs", "", "write a run manifest under `dir`/<runID>/")
 	flag.Parse()
 
 	cfg := riskroute.LabConfig{
@@ -49,9 +53,60 @@ func main() {
 		cfg.CVMaxEvents = 800
 	}
 
+	// Observability: any of -log/-trace-out/-runs arms the full stack so
+	// the run's logs, trace, and manifest describe the same execution.
+	obsArmed := *logMode != "off" || *traceOut != "" || *runsDir != ""
+	var (
+		trace  *riskroute.Span
+		flight *riskroute.FlightRecorder
+	)
+	if obsArmed {
+		cfg.Metrics = riskroute.NewMetrics()
+		trace = riskroute.NewTrace("experiments")
+		cfg.Trace = trace
+		flight = riskroute.NewFlightRecorder(0)
+		h, err := riskroute.NewLogHandler(*logMode, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Logger = slog.New(flight.Wrap(h))
+	}
+	if *runsDir != "" {
+		led, err := riskroute.NewRunLedger(*runsDir, "experiments", os.Args[1:])
+		if err != nil {
+			fatal(err)
+		}
+		led.AttachFlight(flight)
+		led.SetConfig("run", *run)
+		led.SetConfig("storm", *storm)
+		led.SetConfig("fast", *fast)
+		cfg.Ledger = led
+	}
+	// finish drains the observability stack exactly once, on every exit
+	// path: Chrome trace export and the run manifest with exit status.
+	finish := func(runErr error) {
+		trace.End()
+		if *traceOut != "" {
+			if err := riskroute.ExportChromeTrace(*traceOut, trace); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace export:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: wrote trace to %s\n", *traceOut)
+			}
+		}
+		if cfg.Ledger != nil {
+			if err := cfg.Ledger.Finish(trace, cfg.Metrics, runErr); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: run ledger:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: wrote run manifest to %s/manifest.json\n",
+					cfg.Ledger.Dir())
+			}
+		}
+	}
+
 	fmt.Fprintln(os.Stderr, "building experiment world...")
 	lab, err := riskroute.NewLab(cfg)
 	if err != nil {
+		finish(err)
 		fatal(err)
 	}
 
@@ -200,10 +255,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %s...\n", id)
 		fmt.Printf("==== %s ====\n", strings.ToUpper(id))
 		if err := runOne(id); err != nil {
+			finish(err)
 			fatal(err)
 		}
 		fmt.Println()
 	}
+	finish(nil)
 }
 
 func fatal(err error) {

@@ -87,10 +87,11 @@ func checkStorm(storm string, corruptRate float64, seed uint64) error {
 }
 
 func checkPipeline(w *worldFlags, network string, dropLayer int, seed uint64) error {
-	health := riskroute.NewPipelineHealth()
-	// With -telemetry active, degraded events also surface as
-	// pipeline.<stage>.<severity>_total counters in the exit report.
-	health.AttachMetrics(tel.reg)
+	// The shared health funnel: degraded events surface as
+	// pipeline.<stage>.<severity>_total counters in the exit report, leveled
+	// log records under -log, and the -runs manifest's degraded summary.
+	tel.ensure()
+	health := tel.health
 	var inj *riskroute.Injector
 	if dropLayer >= 0 {
 		inj = riskroute.NewInjector(seed).
@@ -102,7 +103,7 @@ func checkPipeline(w *worldFlags, network string, dropLayer int, seed uint64) er
 	}
 	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
 		riskroute.HazardFitConfig{Lenient: true, Injector: inj, Health: health,
-			Metrics: tel.reg, Trace: tel.trace})
+			Metrics: tel.reg, Trace: tel.trace, Logger: tel.logger})
 	if err != nil {
 		return err
 	}

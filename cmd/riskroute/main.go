@@ -73,7 +73,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	telemetryFinish()
+	telemetryFinish(err)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "riskroute:", err)
 		os.Exit(1)
@@ -102,8 +102,11 @@ Commands:
   check      diagnose inputs and report degraded-mode pipeline health
   stats      instrumented pipeline pass; emits the telemetry report (JSON)
 
-Every command also takes the telemetry flags:
+Every command also takes the observability flags:
   -telemetry text|json|off   emit a metrics + trace report to stderr on exit
+  -log text|json|off         structured log stream (slog) to stderr
+  -trace-out file            write the run's trace as Chrome trace-event JSON
+  -runs dir                  write a run manifest under dir/<runID>/
   -cpuprofile file           write a CPU profile of the run
   -memprofile file           write a heap profile at exit
   -debug-addr addr           serve expvar, net/http/pprof, and /telemetry
@@ -134,7 +137,8 @@ func addWorldFlags(fs *flag.FlagSet) *worldFlags {
 
 func (w *worldFlags) build() (*riskroute.HazardModel, *riskroute.Census, error) {
 	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
-		riskroute.HazardFitConfig{Metrics: tel.reg, Trace: tel.trace})
+		riskroute.HazardFitConfig{Metrics: tel.reg, Trace: tel.trace,
+			Health: tel.health, Logger: tel.logger})
 	if err != nil {
 		return nil, nil, err
 	}

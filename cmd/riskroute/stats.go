@@ -33,11 +33,11 @@ func cmdStats(args []string) error {
 		return fmt.Errorf("unknown format %q (want json or text)", *format)
 	}
 
-	// stats always collects, with or without -telemetry.
+	// stats always collects, with or without -telemetry. The health funnel
+	// is the shared one, so degraded events flow into metrics, logs, and the
+	// run manifest through a single path.
 	tel.ensure()
-	reg, trace := tel.reg, tel.trace
-	health := riskroute.NewPipelineHealth()
-	health.AttachMetrics(reg)
+	reg, trace, health := tel.reg, tel.trace, tel.health
 
 	// Parse stage: the user's topology file, or the embedded corpus
 	// round-tripped through the native text format so the parser is measured
@@ -75,7 +75,8 @@ func cmdStats(args []string) error {
 	}
 
 	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
-		riskroute.HazardFitConfig{Metrics: reg, Trace: trace, Health: health})
+		riskroute.HazardFitConfig{Metrics: reg, Trace: trace, Health: health,
+			Logger: tel.logger})
 	if err != nil {
 		return err
 	}
@@ -93,9 +94,7 @@ func cmdStats(args []string) error {
 	if w.spanRisk {
 		ctx.SetLinkHist(model.LinkRisks(net, 8))
 	}
-	opts := telOptions()
-	opts.Health = health
-	e, err := riskroute.NewEngine(ctx, opts)
+	e, err := riskroute.NewEngine(ctx, telOptions())
 	if err != nil {
 		return err
 	}
@@ -105,10 +104,6 @@ func cmdStats(args []string) error {
 	trace.SetAttr("risk_reduction", r.RiskReduction)
 	trace.End()
 
-	riskroute.CaptureRuntime(reg)
-	rep := riskroute.BuildTelemetryReport(reg, trace)
-	if *format == "text" {
-		return rep.WriteText(os.Stdout)
-	}
-	return rep.WriteJSON(os.Stdout)
+	// Same report-building path as the -telemetry exit report.
+	return writeTelemetryReport(os.Stdout, *format)
 }

@@ -3,52 +3,77 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
+	"strings"
 
 	"riskroute"
 )
 
-// telemetryState is the process-wide telemetry wiring every subcommand
+// telemetryState is the process-wide observability wiring every subcommand
 // shares. The CLI runs exactly one command per process, so a single global —
 // armed by flags at parse time, drained by telemetryFinish on the way out —
-// keeps the sixteen subcommands free of plumbing. When no telemetry flag is
-// given, reg and trace stay nil and the whole pipeline runs with nil-handle
-// no-ops.
+// keeps the seventeen subcommands free of plumbing. When no observability
+// flag is given, everything stays nil and the whole pipeline runs with
+// nil-handle no-ops.
 type telemetryState struct {
-	cmd     string // subcommand name, becomes the root span's name
-	mode    string // "", "off", "text", or "json": exit-report format
-	reg     *riskroute.Metrics
-	trace   *riskroute.Span
-	cpuStop func() error
-	memPath string
-	debug   *riskroute.DebugServer
+	cmd      string        // subcommand name, becomes the root span's name
+	mode     string        // "", "off", "text", or "json": exit-report format
+	fs       *flag.FlagSet // the command's flag set, for manifest config capture
+	reg      *riskroute.Metrics
+	trace    *riskroute.Span
+	health   *riskroute.PipelineHealth
+	logger   *slog.Logger
+	flight   *riskroute.FlightRecorder
+	ledger   *riskroute.RunLedger
+	traceOut string
+	cpuStop  func() error
+	memPath  string
+	debug    *riskroute.DebugServer
 }
 
 var tel telemetryState
 
-// ensure lazily creates the registry and root trace (idempotent). Any
-// telemetry flag arms collection; `riskroute stats` arms it unconditionally.
+// ensure lazily creates the registry, root trace, health funnel, flight
+// recorder, and ring-only logger (idempotent). Any observability flag arms
+// collection; `riskroute stats` and `riskroute check` arm it unconditionally.
 func (t *telemetryState) ensure() {
-	if t.reg == nil {
-		t.reg = riskroute.NewMetrics()
-		name := t.cmd
-		if name == "" {
-			name = "riskroute"
-		}
-		t.trace = riskroute.NewTrace(name)
+	if t.reg != nil {
+		return
 	}
+	t.reg = riskroute.NewMetrics()
+	name := t.cmd
+	if name == "" {
+		name = "riskroute"
+	}
+	t.trace = riskroute.NewTrace(name)
+	t.flight = riskroute.NewFlightRecorder(0)
+	// Ring-only until -log arms a sink: the flight recorder captures the
+	// tail regardless of log mode, so an error dump works with -log off.
+	t.logger = slog.New(t.flight.Wrap(nil))
+	t.health = riskroute.NewPipelineHealth()
+	t.health.AttachMetrics(t.reg)
+	t.health.AttachLogger(t.logger)
 }
 
 // options returns engine options pre-wired with the session's telemetry
-// (zero options when telemetry is off — both fields are nil-safe).
+// (zero options when telemetry is off — every field is nil-safe).
 func telOptions() riskroute.Options {
-	return riskroute.Options{Metrics: tel.reg, Trace: tel.trace}
+	return riskroute.Options{
+		Metrics: tel.reg,
+		Trace:   tel.trace,
+		Health:  tel.health,
+		Logger:  tel.logger,
+	}
 }
 
-// addTelemetryFlags registers the global telemetry flags on a subcommand's
-// flag set. flag.Func runs at parse time, so profiling and the debug
-// listener start before the command body does any work.
+// addTelemetryFlags registers the global observability flags on a
+// subcommand's flag set. flag.Func runs at parse time, so logging,
+// profiling, the ledger, and the debug listener start before the command
+// body does any work.
 func addTelemetryFlags(fs *flag.FlagSet) {
+	tel.fs = fs
 	fs.Func("telemetry", "emit a telemetry report to stderr on exit: text, json, or off", func(v string) error {
 		switch v {
 		case "off":
@@ -61,6 +86,39 @@ func addTelemetryFlags(fs *flag.FlagSet) {
 		default:
 			return fmt.Errorf("unknown telemetry format %q (want text, json, or off)", v)
 		}
+	})
+	fs.Func("log", "structured log stream to stderr: text, json, or off", func(v string) error {
+		switch v {
+		case "off":
+			tel.ensure() // ring-only logger stays armed for the flight dump
+			return nil
+		case "text", "json":
+			tel.ensure()
+			h, err := riskroute.NewLogHandler(v, os.Stderr)
+			if err != nil {
+				return err
+			}
+			tel.logger = slog.New(tel.flight.Wrap(h))
+			tel.health.AttachLogger(tel.logger)
+			return nil
+		default:
+			return fmt.Errorf("unknown log format %q (want text, json, or off)", v)
+		}
+	})
+	fs.Func("trace-out", "write the run's span tree as Chrome trace-event JSON to `file` on exit", func(path string) error {
+		tel.ensure()
+		tel.traceOut = path
+		return nil
+	})
+	fs.Func("runs", "write a run manifest (config, input checksums, timings) under `dir`/<runID>/", func(dir string) error {
+		tel.ensure()
+		led, err := riskroute.NewRunLedger(dir, tel.cmd, os.Args[2:])
+		if err != nil {
+			return err
+		}
+		led.AttachFlight(tel.flight)
+		tel.ledger = led
+		return nil
 	})
 	fs.Func("cpuprofile", "write a CPU profile of the run to `file`", func(path string) error {
 		tel.ensure()
@@ -88,10 +146,82 @@ func addTelemetryFlags(fs *flag.FlagSet) {
 	})
 }
 
+// writeTelemetryReport assembles the report — runtime capture, metrics
+// snapshot, trace tree — and renders it. This is the single report-building
+// path shared by the -telemetry exit report and `riskroute stats`.
+func writeTelemetryReport(w io.Writer, format string) error {
+	riskroute.CaptureRuntime(tel.reg)
+	rep := riskroute.BuildTelemetryReport(tel.reg, tel.trace)
+	if format == "json" {
+		return rep.WriteJSON(w)
+	}
+	return rep.WriteText(w)
+}
+
+// obsFlags names the flags excluded from the manifest's config section:
+// they steer observability, not the computation, so two runs that differ
+// only in where they write their telemetry stay config-byte-equal.
+var obsFlags = map[string]bool{
+	"telemetry": true, "log": true, "trace-out": true, "runs": true,
+	"cpuprofile": true, "memprofile": true, "debug-addr": true,
+}
+
+// ledgerFinish freezes the run manifest: config from the parsed flag set
+// (defaults included, observability flags excluded), input checksums (the
+// -topology file, or the embedded corpus serialized), the health report's
+// degraded events, and the trace/metrics/exit status.
+func ledgerFinish(cmdErr error) error {
+	if tel.fs != nil {
+		tel.fs.VisitAll(func(f *flag.Flag) {
+			if !obsFlags[f.Name] {
+				tel.ledger.SetConfig(f.Name, f.Value.String())
+			}
+		})
+	}
+	topoFile := ""
+	if tel.fs != nil {
+		if f := tel.fs.Lookup("topology"); f != nil {
+			topoFile = f.Value.String()
+		}
+	}
+	if topoFile != "" {
+		f, err := os.Open(topoFile)
+		if err != nil {
+			return err
+		}
+		err = tel.ledger.AddInput("topology:"+topoFile, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(riskroute.WriteTopology(pw, riskroute.BuiltinNetworks()))
+		}()
+		if err := tel.ledger.AddInput("topology:embedded-corpus", pr); err != nil {
+			return err
+		}
+	}
+	for _, e := range tel.health.Events() {
+		if sev := e.Severity.String(); sev != "ok" {
+			detail := e.Detail
+			if e.Err != nil {
+				detail += " (" + e.Err.Error() + ")"
+			}
+			tel.ledger.AddDegraded(riskroute.RunEvent{
+				Stage: e.Stage, Severity: sev, Detail: detail,
+			})
+		}
+	}
+	return tel.ledger.Finish(tel.trace, tel.reg, cmdErr)
+}
+
 // telemetryFinish stops profilers, closes the debug listener, and emits the
-// exit report. Called once from main after the command returns; errors here
-// must not mask the command's own outcome, so they go to stderr.
-func telemetryFinish() {
+// exit artifacts: the -telemetry report, the -trace-out Chrome trace, and
+// the -runs manifest. Called once from main after the command returns;
+// errors here must not mask the command's own outcome, so they go to stderr.
+func telemetryFinish(cmdErr error) {
 	if tel.cpuStop != nil {
 		if err := tel.cpuStop(); err != nil {
 			fmt.Fprintln(os.Stderr, "riskroute: cpu profile:", err)
@@ -105,19 +235,25 @@ func telemetryFinish() {
 	if tel.debug != nil {
 		tel.debug.Close()
 	}
-	if tel.mode != "text" && tel.mode != "json" {
-		return
-	}
 	tel.trace.End()
-	riskroute.CaptureRuntime(tel.reg)
-	rep := riskroute.BuildTelemetryReport(tel.reg, tel.trace)
-	var err error
-	if tel.mode == "json" {
-		err = rep.WriteJSON(os.Stderr)
-	} else {
-		err = rep.WriteText(os.Stderr)
+	if tel.mode == "text" || tel.mode == "json" {
+		if err := writeTelemetryReport(os.Stderr, tel.mode); err != nil {
+			fmt.Fprintln(os.Stderr, "riskroute: telemetry report:", err)
+		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "riskroute: telemetry report:", err)
+	if tel.traceOut != "" {
+		if err := riskroute.ExportChromeTrace(tel.traceOut, tel.trace); err != nil {
+			fmt.Fprintln(os.Stderr, "riskroute: trace export:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "riskroute: wrote trace to %s\n", tel.traceOut)
+		}
+	}
+	if tel.ledger != nil {
+		if err := ledgerFinish(cmdErr); err != nil {
+			fmt.Fprintln(os.Stderr, "riskroute: run ledger:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "riskroute: wrote run manifest to %s\n",
+				strings.TrimSuffix(tel.ledger.Dir(), "/")+"/manifest.json")
+		}
 	}
 }

@@ -223,3 +223,195 @@ func TestCLIBackupDeterministic(t *testing.T) {
 		t.Error("backup output not deterministic for a fixed world seed")
 	}
 }
+
+func TestCLIStructuredLogJSON(t *testing.T) {
+	path := writeMiniTopo(t)
+	args := append([]string{"outage", "-topology", path, "-network", "MiniNet", "-storm", "Katrina", "-log", "json"}, tiny...)
+	stdout, stderr := runSplit(t, args...)
+	if !strings.Contains(stdout, "failed PoPs") {
+		t.Errorf("command output disturbed by -log:\n%s", stdout)
+	}
+	// Every stderr line is one slog JSON record.
+	sawBuild := false
+	for _, line := range strings.Split(strings.TrimSpace(stderr), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %v: %q", err, line)
+		}
+		if rec["level"] == nil || rec["msg"] == nil || rec["time"] == nil {
+			t.Fatalf("log record missing slog keys: %v", rec)
+		}
+		if rec["msg"] == "engine built" {
+			sawBuild = true
+			if rec["network"] != "MiniNet" {
+				t.Errorf("engine built record = %v", rec)
+			}
+		}
+	}
+	if !sawBuild {
+		t.Errorf("no \"engine built\" record in log stream:\n%s", stderr)
+	}
+}
+
+func TestCLIStructuredLogText(t *testing.T) {
+	path := writeMiniTopo(t)
+	args := append([]string{"outage", "-topology", path, "-network", "MiniNet", "-storm", "Katrina", "-log", "text"}, tiny...)
+	_, stderr := runSplit(t, args...)
+	for _, want := range []string{"level=INFO", "msg=", "engine built"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-log text stderr missing %q:\n%s", want, stderr)
+		}
+	}
+	runExpectError(t, "networks", "-log", "yaml")
+}
+
+func TestCLITraceOut(t *testing.T) {
+	topo := writeMiniTopo(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	args := append([]string{"outage", "-topology", topo, "-network", "MiniNet", "-storm", "Katrina", "-trace-out", out}, tiny...)
+	_, stderr := runSplit(t, args...)
+	if !strings.Contains(stderr, "wrote trace to "+out) {
+		t.Errorf("missing trace confirmation on stderr:\n%s", stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("-trace-out file is not Chrome trace JSON: %v", err)
+	}
+	if len(tr.TraceEvents) < 3 {
+		t.Fatalf("trace has %d events, want metadata + spans", len(tr.TraceEvents))
+	}
+	if tr.TraceEvents[0].Phase != "M" {
+		t.Errorf("first event phase = %q, want metadata", tr.TraceEvents[0].Phase)
+	}
+	names := map[string]bool{}
+	for _, e := range tr.TraceEvents[1:] {
+		if e.Phase != "X" {
+			t.Errorf("span phase = %q, want X", e.Phase)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"outage", "fit", "engine-build"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span; have %v", want, names)
+		}
+	}
+}
+
+// readOnlyManifest finds the single run directory under root and returns the
+// raw manifest bytes.
+func readOnlyManifest(t *testing.T, root string) []byte {
+	t.Helper()
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("runs dir has %d entries, want 1", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(root, entries[0].Name(), "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCLIRunManifestDeterministic(t *testing.T) {
+	topo := writeMiniTopo(t)
+	runOnce := func() (string, []byte) {
+		root := t.TempDir()
+		args := append([]string{"outage", "-topology", topo, "-network", "MiniNet", "-storm", "Katrina", "-runs", root}, tiny...)
+		_, stderr := runSplit(t, args...)
+		if !strings.Contains(stderr, "wrote run manifest") {
+			t.Errorf("missing manifest confirmation on stderr:\n%s", stderr)
+		}
+		return root, readOnlyManifest(t, root)
+	}
+	root1, d1 := runOnce()
+	_, d2 := runOnce()
+
+	section := func(data []byte, key string) string {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("manifest not JSON: %v", err)
+		}
+		return string(m[key])
+	}
+	// Identical inputs: config and input checksums byte-equal, identity fresh.
+	if section(d1, "config") != section(d2, "config") {
+		t.Errorf("config sections differ:\n%s\nvs\n%s", section(d1, "config"), section(d2, "config"))
+	}
+	if section(d1, "inputs") != section(d2, "inputs") {
+		t.Errorf("inputs sections differ:\n%s\nvs\n%s", section(d1, "inputs"), section(d2, "inputs"))
+	}
+	if section(d1, "run_id") == section(d2, "run_id") {
+		t.Error("distinct runs share a run_id")
+	}
+
+	var m struct {
+		Command string         `json:"command"`
+		Status  string         `json:"status"`
+		Config  map[string]any `json:"config"`
+		Inputs  []struct {
+			Name   string `json:"name"`
+			SHA256 string `json:"sha256"`
+			Bytes  int64  `json:"bytes"`
+		} `json:"inputs"`
+		Stages []struct {
+			Stage string `json:"stage"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(d1, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Command != "outage" || m.Status != "ok" {
+		t.Errorf("manifest header: command=%q status=%q", m.Command, m.Status)
+	}
+	if m.Config["storm"] != "Katrina" || m.Config["network"] != "MiniNet" {
+		t.Errorf("config missing command flags: %v", m.Config)
+	}
+	if _, leaked := m.Config["runs"]; leaked {
+		t.Error("observability flag leaked into the config section")
+	}
+	if len(m.Inputs) == 0 || len(m.Inputs[0].SHA256) != 64 || m.Inputs[0].Bytes <= 0 {
+		t.Errorf("inputs = %+v", m.Inputs)
+	}
+	if len(m.Stages) == 0 {
+		t.Error("manifest has no stage timings")
+	}
+	// Healthy run: no flight dump.
+	entries, _ := os.ReadDir(root1)
+	if _, err := os.Stat(filepath.Join(root1, entries[0].Name(), "flight.log")); !os.IsNotExist(err) {
+		t.Error("flight.log written for a successful run")
+	}
+}
+
+func TestCLIRunManifestFailure(t *testing.T) {
+	topo := writeMiniTopo(t)
+	root := t.TempDir()
+	args := append([]string{"route", "-topology", topo, "-network", "MiniNet", "-from", "A", "-to", "Nowhere", "-runs", root}, tiny...)
+	runExpectError(t, args...)
+	data := readOnlyManifest(t, root)
+	var m struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != "error" || m.Error == "" {
+		t.Fatalf("failed run manifest: status=%q error=%q", m.Status, m.Error)
+	}
+	entries, _ := os.ReadDir(root)
+	if _, err := os.Stat(filepath.Join(root, entries[0].Name(), "flight.log")); err != nil {
+		t.Errorf("failed run should dump flight.log: %v", err)
+	}
+}

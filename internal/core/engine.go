@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
@@ -63,6 +64,10 @@ type Options struct {
 	// Trace, when non-nil, is the parent span under which the engine opens
 	// "engine-build" and per-evaluation "sweep" children.
 	Trace *obs.Span
+	// Logger, when non-nil, receives one structured record per engine build
+	// and per all-pairs sweep. Nil is fine; the engine logs through
+	// LoggerOrNop, and nothing inside the sweep inner loops logs.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +117,7 @@ type Engine struct {
 	Ctx  *risk.Context
 	opts Options
 	tel  engineObs
+	lg   *slog.Logger // never nil (LoggerOrNop at build)
 
 	dist *graph.Graph // pure bit-mile graph
 
@@ -174,6 +180,7 @@ func New(ctx *risk.Context, opts Options) (*Engine, error) {
 		Ctx:     ctx,
 		opts:    opts,
 		tel:     newEngineObs(opts.Metrics),
+		lg:      obs.LoggerOrNop(opts.Logger),
 		dist:    ctx.DistanceGraph(),
 		alphaLo: alphaLo,
 		alphaHi: alphaHi,
@@ -227,7 +234,12 @@ func New(ctx *risk.Context, opts Options) (*Engine, error) {
 	build.SetAttr("components", e.components)
 	e.tel.alphaBuckets.Set(float64(k))
 	e.tel.unreachable.Set(float64(e.unreachable))
-	e.tel.buildSeconds.Observe(build.End().Seconds())
+	buildSeconds := build.End().Seconds()
+	e.tel.buildSeconds.Observe(buildSeconds)
+	e.lg.Info("engine built", "network", ctx.Net.Name,
+		"pops", len(ctx.Net.PoPs), "links", len(ctx.Net.Links),
+		"alpha_buckets", k, "components", e.components,
+		"seconds", buildSeconds)
 	return e, nil
 }
 
@@ -481,6 +493,9 @@ func (e *Engine) evaluateSubset(sources, dests []int) Ratios {
 	sweep.SetAttr("sources", len(sources))
 	sweep.SetAttr("workers", workers)
 	sweep.SetAttr("pairs", pairs)
+	e.lg.Info("sweep complete", "sources", len(sources),
+		"pairs", pairs, "workers", workers,
+		"seconds", sweep.Duration().Seconds())
 	if pairs == 0 {
 		return Ratios{}
 	}

@@ -6,7 +6,11 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"log/slog"
+	"math"
 	"sync"
 	"time"
 
@@ -56,6 +60,14 @@ type Config struct {
 	// opens a child named after itself, and the hazard fit and engine builds
 	// nest under it.
 	Trace *obs.Span
+	// Logger, when non-nil, receives structured progress records from the
+	// lab and every layer beneath it (hazard fit, engine builds, sweeps).
+	Logger *slog.Logger
+	// Ledger, when non-nil, is the run manifest under construction: NewLab
+	// records the world's configuration knobs and the SHA-256 checksums of
+	// the generated datasets (topology corpus, per-catalog events) into it,
+	// so two runs are provably over identical inputs.
+	Ledger *obs.Ledger
 }
 
 func (c Config) withDefaults() Config {
@@ -134,16 +146,59 @@ func NewLab(cfg Config) (*Lab, error) {
 			Bandwidth: et.PaperBandwidth(),
 		})
 	}
+	if err := lab.recordProvenance(sources); err != nil {
+		return nil, fmt.Errorf("experiments: ledger: %w", err)
+	}
 	model, err := hazard.Fit(sources, hazard.FitConfig{
 		CellMiles: cfg.CellMiles,
 		Metrics:   cfg.Metrics,
 		Trace:     cfg.Trace,
+		Logger:    cfg.Logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hazard fit: %w", err)
 	}
 	lab.Model = model
 	return lab, nil
+}
+
+// recordProvenance writes the world's configuration knobs and input
+// checksums into the run ledger (no-op when Config.Ledger is nil). The
+// "inputs" are the generated datasets themselves — the topology corpus in
+// its serialized text form and each disaster catalog's coordinates — so the
+// manifest pins what the run actually computed over, independent of the
+// generator's implementation.
+func (l *Lab) recordProvenance(sources []hazard.Source) error {
+	led := l.Cfg.Ledger
+	if led == nil {
+		return nil
+	}
+	led.SetConfig("census_blocks", l.Cfg.CensusBlocks)
+	led.SetConfig("event_scale", l.Cfg.EventScale)
+	led.SetConfig("max_events_per_catalog", l.Cfg.MaxEventsPerCatalog)
+	led.SetConfig("cell_miles", l.Cfg.CellMiles)
+	led.SetConfig("alpha_buckets", l.Cfg.AlphaBuckets)
+	led.SetConfig("replay_stride", l.Cfg.ReplayStride)
+	led.SetConfig("seed", l.Cfg.Seed)
+
+	var buf bytes.Buffer
+	if err := topology.Write(&buf, l.Networks); err != nil {
+		return err
+	}
+	if err := led.AddInput("topology-corpus", &buf); err != nil {
+		return err
+	}
+	for _, s := range sources {
+		buf.Reset()
+		for _, p := range s.Events {
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(p.Lat))
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(p.Lon))
+		}
+		if err := led.AddInput("events-"+s.Name, &buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EventsFor generates the (scaled, capped) synthetic catalog for one event
@@ -212,6 +267,7 @@ func (l *Lab) EngineFor(n *topology.Network, params risk.Params, forecast []floa
 		AlphaBuckets: l.Cfg.AlphaBuckets,
 		Metrics:      l.Cfg.Metrics,
 		Trace:        l.Cfg.Trace,
+		Logger:       l.Cfg.Logger,
 	})
 }
 
@@ -224,9 +280,11 @@ func (l *Lab) track(name string) func() {
 	span := l.Cfg.Trace.Child(name)
 	return func() {
 		span.End()
-		l.Cfg.Metrics.Gauge("experiments." + name + ".seconds").
-			Set(time.Since(started).Seconds())
+		seconds := time.Since(started).Seconds()
+		l.Cfg.Metrics.Gauge("experiments." + name + ".seconds").Set(seconds)
 		l.Cfg.Metrics.Counter("experiments.runs_total").Inc()
+		obs.LoggerOrNop(l.Cfg.Logger).Info("experiment complete",
+			"experiment", name, "seconds", seconds)
 	}
 }
 
@@ -256,5 +314,6 @@ func newEngineForLab(l *Lab, ctx *risk.Context) (*core.Engine, error) {
 		AlphaBuckets: l.Cfg.AlphaBuckets,
 		Metrics:      l.Cfg.Metrics,
 		Trace:        l.Cfg.Trace,
+		Logger:       l.Cfg.Logger,
 	})
 }

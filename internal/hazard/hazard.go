@@ -18,6 +18,7 @@ package hazard
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
@@ -110,6 +111,10 @@ type FitConfig struct {
 	// Trace, when non-nil, is the parent span under which Fit opens a "fit"
 	// child with one nested span per catalog.
 	Trace *obs.Span
+	// Logger, when non-nil, receives structured fit progress: one Info per
+	// fitted source (events, bandwidth, seconds), a Warn per dropped layer,
+	// and a summary record. Nil is fine; Fit logs through LoggerOrNop.
+	Logger *slog.Logger
 }
 
 func (c FitConfig) withDefaults() FitConfig {
@@ -170,6 +175,7 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 	}
 	fit := cfg.Trace.Child("fit")
 	defer fit.End()
+	lg := obs.LoggerOrNop(cfg.Logger)
 	m := &Model{}
 
 	// fitErr classifies one source's failure before any expensive work.
@@ -202,6 +208,7 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 			}
 			m.Lost = append(m.Lost, s.Name)
 			cfg.Health.Degrade("hazard", err, "dropped layer %q", s.Name)
+			lg.Warn("hazard layer dropped", "source", s.Name, "err", err.Error())
 			cfg.Metrics.Counter("hazard.fit.dropped_total").Inc()
 			src.SetAttr("dropped", true)
 			src.End()
@@ -235,6 +242,9 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 		src.End()
 		cfg.Metrics.Histogram("hazard.fit.source_seconds", obs.LatencyBuckets()).
 			Observe(time.Since(srcStart).Seconds())
+		lg.Info("hazard source fitted", "source", s.Name,
+			"events", len(s.Events), "bandwidth_miles", bw,
+			"seconds", time.Since(srcStart).Seconds())
 	}
 	if len(m.Sources) == 0 {
 		return nil, &resilience.DegradedError{
@@ -251,6 +261,8 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 	} else {
 		cfg.Health.Record("hazard", "fitted all %d layers", len(m.Sources))
 	}
+	lg.Info("hazard fit complete", "sources", len(m.Sources),
+		"dropped", len(m.Lost), "seconds", fit.Duration().Seconds())
 	return m, nil
 }
 

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// populate registers the same metrics in the given order.
+func populate(r *Registry, names []string) {
+	for _, n := range names {
+		r.Counter("count." + n + "_total").Add(int64(len(n)))
+		r.Gauge("gauge." + n).Set(float64(len(n)))
+		r.Histogram("hist."+n+"_seconds", LatencyBuckets()).Observe(0.01)
+	}
+}
+
+func TestSnapshotSerializationDeterministic(t *testing.T) {
+	// Two registries with identical contents registered in different orders
+	// must serialize byte-identically, text and JSON both.
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	reversed := []string{"delta", "gamma", "beta", "alpha"}
+	r1, r2 := NewRegistry(), NewRegistry()
+	populate(r1, names)
+	populate(r2, reversed)
+
+	var t1, t2, j1, j2 bytes.Buffer
+	if err := r1.Snapshot().WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Snapshot().WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatalf("text serialization depends on registration order:\n%s\nvs\n%s", t1.String(), t2.String())
+	}
+	if err := r1.Snapshot().WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Snapshot().WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatalf("JSON serialization depends on registration order:\n%s\nvs\n%s", j1.String(), j2.String())
+	}
+	// Sorted key paths: every counter line precedes every gauge line, and
+	// names within a kind are sorted.
+	lines := strings.Split(strings.TrimSpace(t1.String()), "\n")
+	var sortedView []string
+	sortedView = append(sortedView, lines...)
+	for i := 1; i < len(sortedView); i++ {
+		a, b := sortedView[i-1], sortedView[i]
+		if a[:8] == b[:8] && a > b { // same kind column, out of order
+			t.Fatalf("text lines out of order:\n%s\n%s", a, b)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", bounds)
+	// Observations above the last bound land in the implicit overflow
+	// bucket; boundary values are inclusive on the upper edge.
+	for _, v := range []float64{0.5, 10, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms["x_seconds"]
+	if len(hs.Counts) != len(bounds)+1 {
+		t.Fatalf("len(Counts) = %d, want len(bounds)+1 = %d", len(hs.Counts), len(bounds)+1)
+	}
+	want := []int64{1, 1, 1, 2} // 0.5 | 10 | 100 | 101, 1e9
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+	if hs.Count != 5 {
+		t.Errorf("Count = %d, want 5", hs.Count)
+	}
+	// Sum includes overflowed values, so the mean stays exact.
+	if wantSum := 0.5 + 10 + 100 + 101 + 1e9; hs.Sum != wantSum {
+		t.Errorf("Sum = %g, want %g", hs.Sum, wantSum)
+	}
+}
+
+func TestDebugServerLifecycle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lifecycle.demo_total").Inc()
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, "lifecycle.demo_total") {
+		t.Fatalf("/debug/vars: code %d body %.120s", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code %d body %.120s", code, body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The port must be released: re-binding the exact address succeeds.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %s still held after Close: %v", addr, err)
+	}
+	ln.Close()
+
+	// And a second debug server can start in the same process (the expvar
+	// publication is process-global but must not panic on reuse).
+	srv2, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("second ServeDebug: %v", err)
+	}
+	defer srv2.Close()
+	resp, err := http.Get("http://" + srv2.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second server /debug/vars: status %d", resp.StatusCode)
+	}
+}

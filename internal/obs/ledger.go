@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The run ledger is the durable half of provenance: every instrumented run
+// writes runs/<runID>/manifest.json recording which inputs (by SHA-256),
+// which configuration, and which pipeline stages produced its output — the
+// record that makes a figure or a routing decision reconstructable after the
+// process exits. On failure the ledger also dumps the flight recorder's log
+// tail next to the manifest, so the last records before the error survive
+// even when -log was off.
+//
+// Determinism contract: two runs over identical inputs and configuration
+// produce manifests that differ only in run_id, start/end timestamps, and
+// measured timings — the config and inputs sections are byte-identical
+// (config is a string-keyed map, which encoding/json marshals in sorted key
+// order; inputs are sorted by name at write time).
+
+// InputChecksum records one input dataset's identity.
+type InputChecksum struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// StageTiming is one span of the run's trace, flattened: Stage is the
+// slash-joined path from the trace root.
+type StageTiming struct {
+	Stage      string `json:"stage"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// LedgerEvent is one degraded-mode event carried into the manifest (the
+// obs-side mirror of resilience.Event, kept string-typed so obs does not
+// import resilience).
+type LedgerEvent struct {
+	Stage    string `json:"stage"`
+	Severity string `json:"severity"`
+	Detail   string `json:"detail"`
+}
+
+// Manifest is the durable record of one run.
+type Manifest struct {
+	RunID    string          `json:"run_id"`
+	Command  string          `json:"command"`
+	Args     []string        `json:"args,omitempty"`
+	Start    time.Time       `json:"start"`
+	End      time.Time       `json:"end"`
+	Config   map[string]any  `json:"config"`
+	Inputs   []InputChecksum `json:"inputs"`
+	Stages   []StageTiming   `json:"stages,omitempty"`
+	Metrics  *Snapshot       `json:"metrics,omitempty"`
+	Degraded []LedgerEvent   `json:"degraded,omitempty"`
+	Status   string          `json:"status"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// Ledger accumulates one run's manifest and writes it at Finish. A nil
+// *Ledger ignores all operations, matching the package's nil-handle
+// convention, so pipelines thread it unconditionally.
+type Ledger struct {
+	mu       sync.Mutex
+	dir      string
+	m        Manifest
+	flight   *FlightRecorder
+	finished bool
+}
+
+// NewLedger creates runs/<runID>/ under root and returns the ledger for it.
+// The runID is the UTC start time plus a random suffix, unique per run.
+func NewLedger(root, command string, args []string) (*Ledger, error) {
+	start := time.Now()
+	var suffix [4]byte
+	if _, err := rand.Read(suffix[:]); err != nil {
+		return nil, fmt.Errorf("obs: run id: %w", err)
+	}
+	runID := start.UTC().Format("20060102T150405Z") + "-" + hex.EncodeToString(suffix[:])
+	dir := filepath.Join(root, runID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Ledger{
+		dir: dir,
+		m: Manifest{
+			RunID:   runID,
+			Command: command,
+			Args:    append([]string(nil), args...),
+			Start:   start,
+			Config:  map[string]any{},
+		},
+	}, nil
+}
+
+// Dir returns the run's directory ("" on nil).
+func (l *Ledger) Dir() string {
+	if l == nil {
+		return ""
+	}
+	return l.dir
+}
+
+// RunID returns the run's identifier ("" on nil).
+func (l *Ledger) RunID() string {
+	if l == nil {
+		return ""
+	}
+	return l.m.RunID
+}
+
+// SetConfig records one configuration knob (λ/ρ values, seeds, scales —
+// whatever determined the run's output). Values should be strings or
+// numbers so the manifest stays deterministic.
+func (l *Ledger) SetConfig(key string, value any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.m.Config[key] = value
+	l.mu.Unlock()
+}
+
+// AddInput checksums one input dataset's bytes (SHA-256, streamed) into the
+// manifest.
+func (l *Ledger) AddInput(name string, r io.Reader) error {
+	if l == nil {
+		return nil
+	}
+	h := sha256.New()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.m.Inputs = append(l.m.Inputs, InputChecksum{
+		Name:   name,
+		SHA256: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  n,
+	})
+	l.mu.Unlock()
+	return nil
+}
+
+// AttachFlight hands the ledger the flight recorder to dump on failure.
+func (l *Ledger) AttachFlight(f *FlightRecorder) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.flight = f
+	l.mu.Unlock()
+}
+
+// AddDegraded appends degraded-mode events to the manifest's summary.
+func (l *Ledger) AddDegraded(events ...LedgerEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.m.Degraded = append(l.m.Degraded, events...)
+	l.mu.Unlock()
+}
+
+// Finish freezes the manifest — per-stage timings from the trace, a metric
+// snapshot from the registry (either may be nil), exit status from runErr —
+// and writes manifest.json. When the run failed and a flight recorder is
+// attached, its retained records are dumped to flight.log alongside.
+// Finish is idempotent; later calls are no-ops.
+func (l *Ledger) Finish(trace *Span, metrics *Registry, runErr error) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.finished {
+		return nil
+	}
+	l.finished = true
+
+	l.m.End = time.Now()
+	if runErr != nil {
+		l.m.Status = "error"
+		l.m.Error = runErr.Error()
+	} else {
+		l.m.Status = "ok"
+	}
+	if trace != nil {
+		l.m.Stages = flattenStages(nil, "", trace.Snapshot())
+	}
+	if metrics != nil {
+		snap := metrics.Snapshot()
+		l.m.Metrics = &snap
+	}
+	sort.Slice(l.m.Inputs, func(i, j int) bool { return l.m.Inputs[i].Name < l.m.Inputs[j].Name })
+
+	data, err := json.MarshalIndent(l.m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(l.dir, "manifest.json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if runErr != nil && l.flight != nil {
+		f, err := os.Create(filepath.Join(l.dir, "flight.log"))
+		if err != nil {
+			return err
+		}
+		if _, err := l.flight.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+// flattenStages walks the span tree depth-first, slash-joining names.
+func flattenStages(out []StageTiming, prefix string, ss SpanSnapshot) []StageTiming {
+	name := ss.Name
+	if prefix != "" {
+		name = prefix + "/" + name
+	}
+	out = append(out, StageTiming{Stage: name, StartNS: ss.StartNS, DurationNS: ss.DurationNS})
+	for _, c := range ss.Children {
+		out = flattenStages(out, name, c)
+	}
+	return out
+}
+
+// ReadManifest loads a run's manifest.json back — the programmatic half of
+// "how to read a run manifest" (see DESIGN.md §7).
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest in %s: %w", dir, err)
+	}
+	return &m, nil
+}

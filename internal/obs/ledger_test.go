@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLedgerManifest(t *testing.T) {
+	root := t.TempDir()
+	led, err := NewLedger(root, "stats", []string{"-network", "Level3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.RunID() == "" || led.Dir() == "" {
+		t.Fatal("ledger should carry a run id and directory")
+	}
+	led.SetConfig("seed", 1)
+	led.SetConfig("lambda-h", "1e5")
+	if err := led.AddInput("topology", strings.NewReader("corpus-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	led.AddDegraded(LedgerEvent{Stage: "hazard", Severity: "degraded", Detail: "dropped layer"})
+
+	trace := NewTrace("stats")
+	trace.Child("fit").End()
+	trace.End()
+	reg := NewRegistry()
+	reg.Counter("x_total").Inc()
+	if err := led.Finish(trace, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := ReadManifest(led.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RunID != led.RunID() || m.Command != "stats" || m.Status != "ok" {
+		t.Fatalf("manifest header = %+v", m)
+	}
+	if m.Config["seed"] != float64(1) || m.Config["lambda-h"] != "1e5" {
+		t.Fatalf("config = %v", m.Config)
+	}
+	if len(m.Inputs) != 1 || m.Inputs[0].Bytes != int64(len("corpus-bytes")) || len(m.Inputs[0].SHA256) != 64 {
+		t.Fatalf("inputs = %+v", m.Inputs)
+	}
+	// Stage timings are the flattened span tree, slash-joined.
+	var stages []string
+	for _, s := range m.Stages {
+		stages = append(stages, s.Stage)
+	}
+	if len(stages) != 2 || stages[0] != "stats" || stages[1] != "stats/fit" {
+		t.Fatalf("stages = %v", stages)
+	}
+	if m.Metrics == nil || m.Metrics.Counters["x_total"] != 1 {
+		t.Fatalf("metrics snapshot missing: %+v", m.Metrics)
+	}
+	if len(m.Degraded) != 1 || m.Degraded[0].Stage != "hazard" {
+		t.Fatalf("degraded = %+v", m.Degraded)
+	}
+	// No failure: no flight.log.
+	if _, err := os.Stat(filepath.Join(led.Dir(), "flight.log")); !os.IsNotExist(err) {
+		t.Fatal("flight.log should only exist after a failed run")
+	}
+}
+
+func TestLedgerDeterministicSections(t *testing.T) {
+	// Two runs with identical config and inputs must serialize their Config
+	// and Inputs sections byte-identically, whatever order they were added in.
+	write := func(keys []string) []byte {
+		led, err := NewLedger(t.TempDir(), "run", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			led.SetConfig(k, "v-"+k)
+		}
+		// Inputs added in reverse on the second run; Finish sorts them.
+		if keys[0] == "alpha" {
+			led.AddInput("a", strings.NewReader("one"))
+			led.AddInput("b", strings.NewReader("two"))
+		} else {
+			led.AddInput("b", strings.NewReader("two"))
+			led.AddInput("a", strings.NewReader("one"))
+		}
+		if err := led.Finish(nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(led.Dir(), "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	section := func(data []byte, key string) string {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		return string(m[key])
+	}
+	d1 := write([]string{"alpha", "beta", "gamma"})
+	d2 := write([]string{"gamma", "beta", "alpha"})
+	if section(d1, "config") != section(d2, "config") {
+		t.Fatalf("config sections differ:\n%s\n%s", section(d1, "config"), section(d2, "config"))
+	}
+	if section(d1, "inputs") != section(d2, "inputs") {
+		t.Fatalf("inputs sections differ:\n%s\n%s", section(d1, "inputs"), section(d2, "inputs"))
+	}
+	if section(d1, "run_id") == section(d2, "run_id") {
+		t.Fatal("run ids should differ")
+	}
+}
+
+func TestLedgerFailureDumpsFlight(t *testing.T) {
+	led, err := NewLedger(t.TempDir(), "run", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlightRecorder(0)
+	slog.New(f.Wrap(nil)).Error("engine exploded", "stage", "sweep")
+	led.AttachFlight(f)
+	if err := led.Finish(nil, nil, errors.New("boom")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(led.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != "error" || m.Error != "boom" {
+		t.Fatalf("status = %q error = %q", m.Status, m.Error)
+	}
+	dump, err := os.ReadFile(filepath.Join(led.Dir(), "flight.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "engine exploded") {
+		t.Fatalf("flight.log = %q", dump)
+	}
+}
+
+func TestLedgerFinishIdempotent(t *testing.T) {
+	led, err := NewLedger(t.TempDir(), "run", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Finish(nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Second Finish (with an error this time) must not rewrite the manifest.
+	if err := led.Finish(nil, nil, errors.New("late")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(led.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != "ok" {
+		t.Fatalf("second Finish overwrote the manifest: status %q", m.Status)
+	}
+}
+
+func TestLedgerNilSafety(t *testing.T) {
+	var led *Ledger
+	led.SetConfig("k", "v")
+	if err := led.AddInput("x", strings.NewReader("y")); err != nil {
+		t.Fatal(err)
+	}
+	led.AttachFlight(nil)
+	led.AddDegraded(LedgerEvent{})
+	if err := led.Finish(nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if led.Dir() != "" || led.RunID() != "" {
+		t.Fatal("nil ledger should report empty identity")
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger("text", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", 1)
+	if !strings.Contains(buf.String(), "msg=hello") || !strings.Contains(buf.String(), "k=1") {
+		t.Fatalf("text output missing fields: %q", buf.String())
+	}
+
+	buf.Reset()
+	lg, err = NewLogger("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Warn("degraded", "stage", "hazard")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json output not JSON: %v: %q", err, buf.String())
+	}
+	if rec["msg"] != "degraded" || rec["stage"] != "hazard" || rec["level"] != "WARN" {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger("off", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Error("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("off logger wrote %q", buf.String())
+	}
+	if lg != NopLogger() {
+		t.Fatal("off should return the shared NopLogger")
+	}
+
+	if _, err := NewLogger("yaml", &buf); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+}
+
+func TestLoggerOrNop(t *testing.T) {
+	if LoggerOrNop(nil) != NopLogger() {
+		t.Fatal("nil should map to NopLogger")
+	}
+	lg := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	if LoggerOrNop(lg) != lg {
+		t.Fatal("non-nil should pass through")
+	}
+	// The nop logger must be safe for every method.
+	NopLogger().Debug("a")
+	NopLogger().With("k", "v").WithGroup("g").Info("b")
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	lg := slog.New(f.Wrap(nil))
+	for i := 0; i < 7; i++ {
+		lg.Info(fmt.Sprintf("rec-%d", i))
+	}
+	recs := f.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(recs))
+	}
+	// Oldest first: records 3..6 survive.
+	for i, want := range []string{"rec-3", "rec-4", "rec-5", "rec-6"} {
+		if !strings.Contains(recs[i], want) {
+			t.Fatalf("recs[%d] = %q, want %s", i, recs[i], want)
+		}
+		if !strings.Contains(recs[i], "INFO") {
+			t.Fatalf("recs[%d] = %q, missing level", i, recs[i])
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 4 {
+		t.Fatalf("WriteTo emitted %d lines, want 4", got)
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	f := NewFlightRecorder(8)
+	lg := slog.New(f.Wrap(nil))
+	lg.Info("only")
+	recs := f.Records()
+	if len(recs) != 1 || !strings.Contains(recs[0], "only") {
+		t.Fatalf("partial ring = %v", recs)
+	}
+}
+
+func TestFlightRecorderCapturesBelowInnerLevel(t *testing.T) {
+	// The inner handler only wants Warn+; the ring must still capture Debug.
+	var buf bytes.Buffer
+	inner := slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn})
+	f := NewFlightRecorder(0)
+	lg := slog.New(f.Wrap(inner))
+	lg.Debug("quiet detail")
+	lg.Warn("loud problem")
+	if strings.Contains(buf.String(), "quiet detail") {
+		t.Fatal("inner handler should not have seen the debug record")
+	}
+	if !strings.Contains(buf.String(), "loud problem") {
+		t.Fatal("inner handler should have seen the warn record")
+	}
+	recs := f.Records()
+	if len(recs) != 2 {
+		t.Fatalf("ring kept %d records, want both", len(recs))
+	}
+}
+
+func TestFlightRecorderWithAttrsAndGroups(t *testing.T) {
+	f := NewFlightRecorder(0)
+	lg := slog.New(f.Wrap(nil)).With("run", "r1").WithGroup("eng").With("net", "Level3")
+	lg.Info("built", "pops", 44)
+	recs := f.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for _, want := range []string{"run=r1", "eng.net=Level3", "eng.pops=44", "built"} {
+		if !strings.Contains(recs[0], want) {
+			t.Fatalf("record %q missing %q", recs[0], want)
+		}
+	}
+	// Derived loggers share the parent's ring.
+	slog.New(f.Wrap(nil)).Info("second")
+	if got := len(f.Records()); got != 2 {
+		t.Fatalf("ring has %d records, want shared total 2", got)
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	if recs := f.Records(); recs != nil {
+		t.Fatal("nil recorder should have no records")
+	}
+	if _, err := f.WriteTo(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrap on a nil recorder passes the inner handler through (or discards).
+	slog.New(f.Wrap(nil)).Info("dropped")
+	var buf bytes.Buffer
+	inner := slog.NewTextHandler(&buf, nil)
+	slog.New(f.Wrap(inner)).Info("forwarded")
+	if !strings.Contains(buf.String(), "forwarded") {
+		t.Fatal("nil Wrap should pass through to inner")
+	}
+}

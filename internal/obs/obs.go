@@ -25,7 +25,19 @@
 //	pipeline.<stage>.<severity>_total     counters bridged from PipelineHealth
 //
 // Counters end in _total, durations in _seconds, sizes in _bytes. A
-// Snapshot is exportable as sorted text (one metric per line) or JSON.
+// Snapshot is exportable as sorted text (one metric per line) or JSON; both
+// renderings are deterministic — every key path is sorted — so identical
+// registries serialize byte-identically.
+//
+// # Histogram buckets
+//
+// Histograms use fixed upper bounds fixed at construction. For k bounds
+// there are k+1 buckets: bucket i counts observations v with
+// bounds[i-1] < v <= bounds[i], and the final bucket is the implicit
+// overflow bucket counting every observation above the last bound. In a
+// HistogramSnapshot, len(Counts) == len(Bounds)+1 and Counts[len(Bounds)]
+// is that overflow count; Sum always includes overflowed values, so a mean
+// computed from Sum/Count is exact even when observations overflow.
 package obs
 
 import (

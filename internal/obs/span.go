@@ -103,9 +103,12 @@ func (s *Span) Name() string {
 }
 
 // SpanSnapshot is a span tree frozen for export. Durations are integral
-// nanoseconds so JSON consumers keep full precision.
+// nanoseconds so JSON consumers keep full precision; StartNS is the span's
+// start offset from the snapshot root's start (0 for the root itself), which
+// is what trace exporters need to place slices on a timeline.
 type SpanSnapshot struct {
 	Name       string         `json:"name"`
+	StartNS    int64          `json:"start_ns"`
 	DurationNS int64          `json:"duration_ns"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
 	Children   []SpanSnapshot `json:"children,omitempty"`
@@ -117,8 +120,18 @@ func (s *Span) Snapshot() SpanSnapshot {
 	if s == nil {
 		return SpanSnapshot{}
 	}
+	return s.snapshotRel(s.start)
+}
+
+// snapshotRel copies the subtree with start offsets relative to base (the
+// snapshot root's start; Span.start is immutable after construction).
+func (s *Span) snapshotRel(base time.Time) SpanSnapshot {
 	s.mu.Lock()
-	ss := SpanSnapshot{Name: s.name, DurationNS: int64(s.dur)}
+	ss := SpanSnapshot{
+		Name:       s.name,
+		StartNS:    int64(s.start.Sub(base)),
+		DurationNS: int64(s.dur),
+	}
 	if !s.ended {
 		ss.DurationNS = int64(time.Since(s.start))
 	}
@@ -131,7 +144,7 @@ func (s *Span) Snapshot() SpanSnapshot {
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock() // children have their own locks; don't hold the parent's
 	for _, c := range children {
-		ss.Children = append(ss.Children, c.Snapshot())
+		ss.Children = append(ss.Children, c.snapshotRel(base))
 	}
 	return ss
 }

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace-event export: serialize a finished span tree into the JSON
+// format chrome://tracing and Perfetto (ui.perfetto.dev) load directly. Each
+// span becomes one complete event ("ph":"X") with microsecond timestamps
+// relative to the trace root; nesting is conveyed by timestamp containment
+// on a single thread track, which is exactly how the span tree is shaped
+// (children start and end inside their parent).
+
+// TraceEvent is one Chrome trace-event record. Only the fields the viewers
+// read are emitted; Args carries the span's attributes.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds from trace start
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of the trace-event format.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ChromeTraceOf flattens a span snapshot into trace events, depth-first, so
+// event order mirrors the tree's construction order.
+func ChromeTraceOf(ss SpanSnapshot) ChromeTrace {
+	tr := ChromeTrace{DisplayTimeUnit: "ms"}
+	tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+		Name:  "process_name",
+		Phase: "M",
+		PID:   1,
+		TID:   1,
+		Args:  map[string]any{"name": "riskroute"},
+	})
+	tr.TraceEvents = appendEvents(tr.TraceEvents, ss)
+	return tr
+}
+
+func appendEvents(events []TraceEvent, ss SpanSnapshot) []TraceEvent {
+	e := TraceEvent{
+		Name:  ss.Name,
+		Phase: "X",
+		TS:    float64(ss.StartNS) / 1e3,
+		Dur:   float64(ss.DurationNS) / 1e3,
+		PID:   1,
+		TID:   1,
+		Args:  ss.Attrs,
+	}
+	// The viewers drop zero-duration complete events; keep them visible.
+	if e.Dur <= 0 {
+		e.Dur = 0.001
+	}
+	events = append(events, e)
+	for _, c := range ss.Children {
+		events = appendEvents(events, c)
+	}
+	return events
+}
+
+// WriteChromeTrace serializes the snapshot as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, ss SpanSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ChromeTraceOf(ss))
+}
+
+// ExportChromeTrace snapshots the span (which should be ended) and writes
+// the Chrome trace JSON to path. A nil span is an error: there is no trace
+// to export.
+func ExportChromeTrace(path string, s *Span) error {
+	if s == nil {
+		return fmt.Errorf("obs: no trace collected to export")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, s.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

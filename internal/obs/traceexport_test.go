@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	root := NewTrace("run")
+	a := root.Child("parse")
+	time.Sleep(2 * time.Millisecond)
+	a.SetAttr("networks", 23)
+	a.End()
+	b := root.Child("fit")
+	time.Sleep(time.Millisecond)
+	b.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Must unmarshal as the Chrome trace-event object form.
+	var tr struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("not valid chrome trace JSON: %v", err)
+	}
+	// Metadata event + 3 spans.
+	if len(tr.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(tr.TraceEvents))
+	}
+	if m := tr.TraceEvents[0]; m.Phase != "M" || m.Name != "process_name" {
+		t.Fatalf("first event should be process metadata, got %+v", m)
+	}
+	byName := map[string]int{}
+	for i, e := range tr.TraceEvents[1:] {
+		if e.Phase != "X" {
+			t.Fatalf("span event phase = %q, want X", e.Phase)
+		}
+		if e.Dur <= 0 {
+			t.Fatalf("span %q has non-positive dur %v", e.Name, e.Dur)
+		}
+		byName[e.Name] = i + 1
+	}
+	run := tr.TraceEvents[byName["run"]]
+	parse := tr.TraceEvents[byName["parse"]]
+	fit := tr.TraceEvents[byName["fit"]]
+	if run.TS != 0 {
+		t.Fatalf("root ts = %v, want 0", run.TS)
+	}
+	// Children nest inside the root by timestamp containment, in order.
+	if parse.TS < run.TS || parse.TS+parse.Dur > run.TS+run.Dur+1 {
+		t.Fatalf("parse [%v,+%v] not inside run [%v,+%v]", parse.TS, parse.Dur, run.TS, run.Dur)
+	}
+	if fit.TS < parse.TS+parse.Dur {
+		t.Fatalf("fit starts at %v, before parse ends at %v", fit.TS, parse.TS+parse.Dur)
+	}
+	if got := parse.Args["networks"]; got != float64(23) {
+		t.Fatalf("parse args = %v", parse.Args)
+	}
+}
+
+func TestExportChromeTrace(t *testing.T) {
+	if err := ExportChromeTrace(filepath.Join(t.TempDir(), "x.json"), nil); err == nil {
+		t.Fatal("nil span should be an export error")
+	}
+	s := NewTrace("run")
+	s.Child("stage").End()
+	s.End()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := ExportChromeTrace(path, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr ChromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("exported file not valid: %v", err)
+	}
+	if len(tr.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(tr.TraceEvents))
+	}
+}
+
+func TestSnapshotStartOffsets(t *testing.T) {
+	root := NewTrace("root")
+	time.Sleep(time.Millisecond)
+	c := root.Child("child")
+	c.End()
+	root.End()
+	ss := root.Snapshot()
+	if ss.StartNS != 0 {
+		t.Fatalf("root StartNS = %d, want 0", ss.StartNS)
+	}
+	if len(ss.Children) != 1 || ss.Children[0].StartNS <= 0 {
+		t.Fatalf("child StartNS = %+v, want positive offset", ss.Children)
+	}
+	if ss.Children[0].StartNS+ss.Children[0].DurationNS > ss.DurationNS {
+		t.Fatal("child extends past its parent")
+	}
+}

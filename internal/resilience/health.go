@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 
@@ -53,6 +54,7 @@ type Health struct {
 	mu      sync.Mutex
 	events  []Event
 	metrics *obs.Registry
+	logger  *slog.Logger
 }
 
 // NewHealth returns an empty report.
@@ -83,6 +85,32 @@ func (h *Health) Metrics() *obs.Registry {
 	return h.metrics
 }
 
+// AttachLogger bridges health events into the structured log stream: every
+// event recorded after the call also emits a leveled record (OK→Info,
+// Degraded→Warn, Failed→Error) with stage/severity attributes. Like
+// AttachMetrics, this keeps the funnel single: stages call
+// Record/Degrade/Fail once and health, metrics, and logs all update.
+func (h *Health) AttachLogger(l *slog.Logger) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.logger = l
+	h.mu.Unlock()
+}
+
+// Logger returns the attached logger, or the shared no-op logger when
+// detached or on a nil Health — always safe to call methods on, so stages
+// that carry a Health can log without a second plumbing path.
+func (h *Health) Logger() *slog.Logger {
+	if h == nil {
+		return obs.NopLogger()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return obs.LoggerOrNop(h.logger)
+}
+
 // Record appends an informational full-fidelity checkpoint.
 func (h *Health) Record(stage, format string, args ...any) {
 	h.add(Event{Stage: stage, Severity: OK, Detail: fmt.Sprintf(format, args...)})
@@ -105,9 +133,24 @@ func (h *Health) add(e Event) {
 	h.mu.Lock()
 	h.events = append(h.events, e)
 	r := h.metrics
+	lg := h.logger
 	h.mu.Unlock()
 	// Counter names follow the obs scheme: pipeline.<stage>.<severity>_total.
 	r.Counter("pipeline." + e.Stage + "." + e.Severity.String() + "_total").Inc()
+	if lg != nil {
+		attrs := []any{"stage", e.Stage, "severity", e.Severity.String()}
+		if e.Err != nil {
+			attrs = append(attrs, "err", e.Err.Error())
+		}
+		switch e.Severity {
+		case OK:
+			lg.Info(e.Detail, attrs...)
+		case Degraded:
+			lg.Warn(e.Detail, attrs...)
+		default:
+			lg.Error(e.Detail, attrs...)
+		}
+	}
 }
 
 // Events returns a copy of all recorded events in order.

@@ -1,8 +1,10 @@
 package resilience
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"testing"
@@ -228,5 +230,55 @@ func TestHealthConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := len(h.Events()); got != 800 {
 		t.Errorf("concurrent records: %d events, want 800", got)
+	}
+}
+
+func TestHealthAttachLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	h := NewHealth()
+	h.AttachLogger(lg)
+	h.Record("topology", "parsed %d networks", 23)
+	h.Degrade("hazard", errors.New("empty catalog"), "lost layer %s", "NOAA Wind")
+	h.Fail("replay", errors.New("boom"), "advisory unusable")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d log lines, want 3:\n%s", len(lines), buf.String())
+	}
+	checks := []struct{ level, stage, severity, extra string }{
+		{"level=INFO", "stage=topology", "severity=ok", "parsed 23 networks"},
+		{"level=WARN", "stage=hazard", "severity=degraded", "err=\"empty catalog\""},
+		{"level=ERROR", "stage=replay", "severity=failed", "err=boom"},
+	}
+	for i, c := range checks {
+		for _, want := range []string{c.level, c.stage, c.severity, c.extra} {
+			if !strings.Contains(lines[i], want) {
+				t.Errorf("line %d = %q, missing %q", i, lines[i], want)
+			}
+		}
+	}
+	// OK events carry no err attribute.
+	if strings.Contains(lines[0], "err=") {
+		t.Errorf("ok event should not carry err attr: %q", lines[0])
+	}
+}
+
+func TestHealthLoggerAccessor(t *testing.T) {
+	var h *Health
+	if h.Logger() == nil {
+		t.Fatal("nil health should still hand out a usable logger")
+	}
+	h.Logger().Info("inert") // must not panic
+
+	h2 := NewHealth()
+	if h2.Logger() == nil {
+		t.Fatal("detached health should hand out the nop logger")
+	}
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewTextHandler(&buf, nil))
+	h2.AttachLogger(lg)
+	if h2.Logger() != lg {
+		t.Fatal("attached logger should be returned as-is")
 	}
 }

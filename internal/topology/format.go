@@ -273,9 +273,15 @@ func parse(r io.Reader, lenient bool, inj *resilience.Injector, health *resilien
 	}
 	reg.Counter("topology.parse.lines_total").Add(int64(lineNo))
 	reg.Counter("topology.parse.networks_total").Add(int64(len(networks)))
+	pops, links := 0, 0
 	for _, n := range networks {
-		reg.Counter("topology.parse.pops_total").Add(int64(len(n.PoPs)))
-		reg.Counter("topology.parse.links_total").Add(int64(len(n.Links)))
+		pops += len(n.PoPs)
+		links += len(n.Links)
 	}
+	reg.Counter("topology.parse.pops_total").Add(int64(pops))
+	reg.Counter("topology.parse.links_total").Add(int64(links))
+	// The structured log rides the same plumbing path as the counters.
+	health.Logger().Debug("topology parsed", "lines", lineNo,
+		"networks", len(networks), "pops", pops, "links", links)
 	return networks, nil
 }

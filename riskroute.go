@@ -33,6 +33,7 @@ package riskroute
 
 import (
 	"io"
+	"log/slog"
 
 	"riskroute/internal/core"
 	"riskroute/internal/datasets"
@@ -505,6 +506,20 @@ type (
 	TelemetryReport = obs.Report
 	// DebugServer is a running opt-in debug HTTP listener.
 	DebugServer = obs.DebugServer
+	// FlightRecorder is a bounded ring of the most recent log records,
+	// dumped by the run ledger when a run fails.
+	FlightRecorder = obs.FlightRecorder
+	// RunLedger accumulates one run's manifest (config, input checksums,
+	// stage timings, metrics, degraded events) and writes it at Finish.
+	RunLedger = obs.Ledger
+	// RunManifest is the durable record a RunLedger writes.
+	RunManifest = obs.Manifest
+	// RunInputChecksum records one input dataset's SHA-256 identity.
+	RunInputChecksum = obs.InputChecksum
+	// RunEvent is one degraded-mode event carried into a manifest.
+	RunEvent = obs.LedgerEvent
+	// ChromeTrace is a span tree serialized as Chrome trace-event JSON.
+	ChromeTrace = obs.ChromeTrace
 )
 
 // NewMetrics returns an empty telemetry registry.
@@ -535,6 +550,44 @@ func WriteHeapProfile(path string) error { return obs.WriteHeapProfile(path) }
 func ServeDebug(addr string, r *Metrics) (*DebugServer, error) {
 	return obs.ServeDebug(addr, r)
 }
+
+// NewLogger builds a structured logger for the given format ("text",
+// "json", or "off"); "off" returns the shared no-op logger.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	return obs.NewLogger(format, w)
+}
+
+// NewLogHandler builds the slog.Handler behind NewLogger, for callers that
+// compose handlers (e.g. FlightRecorder.Wrap).
+func NewLogHandler(format string, w io.Writer) (slog.Handler, error) {
+	return obs.NewLogHandler(format, w)
+}
+
+// NopLogger returns the shared disabled logger: always safe to call, every
+// record discarded before formatting.
+func NopLogger() *slog.Logger { return obs.NopLogger() }
+
+// NewFlightRecorder returns a ring retaining the last n log records
+// (n <= 0 uses the obs default of 256).
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }
+
+// NewRunLedger creates runs/<runID>/ under root and returns the run's
+// ledger.
+func NewRunLedger(root, command string, args []string) (*RunLedger, error) {
+	return obs.NewLedger(root, command, args)
+}
+
+// ReadRunManifest loads a run directory's manifest.json back.
+func ReadRunManifest(dir string) (*RunManifest, error) { return obs.ReadManifest(dir) }
+
+// WriteChromeTrace serializes a span snapshot as Chrome trace-event JSON
+// (loadable in Perfetto and chrome://tracing).
+func WriteChromeTrace(w io.Writer, ss SpanSnapshot) error {
+	return obs.WriteChromeTrace(w, ss)
+}
+
+// ExportChromeTrace writes a span tree's Chrome trace JSON to path.
+func ExportChromeTrace(path string, s *Span) error { return obs.ExportChromeTrace(path, s) }
 
 // LatencyBuckets returns the default duration histogram bounds in seconds.
 func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
