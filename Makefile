@@ -3,11 +3,11 @@ GO ?= go
 # BENCH_BASELINE / BENCH_NEW name the checked-in summaries the regression
 # gate compares; BENCH_THRESHOLD is the min-ns/op slowdown (percent) that
 # fails bench-compare.
-BENCH_BASELINE ?= BENCH_PR2.json
-BENCH_NEW ?= BENCH_PR3.json
+BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_NEW ?= BENCH_PR4.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: tier1 tier2 fuzz-smoke bench bench-compare
+.PHONY: tier1 tier2 fuzz-smoke bench bench-compare determinism
 
 # tier1 is the gate every change must keep green: full build + test suite.
 tier1:
@@ -44,3 +44,10 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/topology
 	$(GO) test -run='^$$' -fuzz='^FuzzParseGraphML$$' -fuzztime=5s ./internal/topology
 	$(GO) test -run='^$$' -fuzz='^FuzzParseAdvisory$$' -fuzztime=5s ./internal/forecast
+	$(GO) test -run='^$$' -fuzz='^FuzzEquirectGuard$$' -fuzztime=5s ./internal/geo
+
+# determinism replays the bit-identity tests under contrasting scheduler
+# widths: results must not depend on how many cores the host exposes.
+determinism:
+	GOMAXPROCS=1 $(GO) test -run 'Deterministic' ./internal/parallel ./internal/kde ./internal/population
+	GOMAXPROCS=4 $(GO) test -run 'Deterministic' -count=1 ./internal/parallel ./internal/kde ./internal/population

@@ -26,6 +26,8 @@ func main() {
 	eventScale := flag.Float64("event-scale", 0, "disaster catalog scale (0 = default 1.0)")
 	stride := flag.Int("stride", 0, "advisory stride for replays (0 = default 5)")
 	seed := flag.Uint64("seed", 0, "world seed (0 = default 1)")
+	workers := flag.Int("workers", 0,
+		"max goroutines for parallel stages (0 = all cores, 1 = sequential); results are identical at any setting")
 	logMode := flag.String("log", "off", "structured log stream to stderr: text, json, or off")
 	traceOut := flag.String("trace-out", "", "write the run's trace as Chrome trace-event JSON to `file`")
 	runsDir := flag.String("runs", "", "write a run manifest under `dir`/<runID>/")
@@ -36,6 +38,7 @@ func main() {
 		EventScale:   *eventScale,
 		ReplayStride: *stride,
 		Seed:         *seed,
+		Workers:      *workers,
 	}
 	if *fast {
 		if cfg.CensusBlocks == 0 {

@@ -108,7 +108,7 @@ func checkPipeline(w *worldFlags, network string, dropLayer int, seed uint64) er
 		return err
 	}
 	census := riskroute.SyntheticCensus(w.blocks, w.seed)
-	asg, err := riskroute.AssignPopulation(census, net)
+	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 	if err != nil {
 		return err
 	}

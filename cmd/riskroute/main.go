@@ -102,7 +102,10 @@ Commands:
   check      diagnose inputs and report degraded-mode pipeline health
   stats      instrumented pipeline pass; emits the telemetry report (JSON)
 
-Every command also takes the observability flags:
+Every command also takes the scheduling and observability flags:
+  -workers n                 max goroutines for parallel stages (0 = all
+                             cores, 1 = sequential); results are identical
+                             at any setting
   -telemetry text|json|off   emit a metrics + trace report to stderr on exit
   -log text|json|off         structured log stream (slog) to stderr
   -trace-out file            write the run's trace as Chrome trace-event JSON
@@ -137,8 +140,8 @@ func addWorldFlags(fs *flag.FlagSet) *worldFlags {
 
 func (w *worldFlags) build() (*riskroute.HazardModel, *riskroute.Census, error) {
 	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
-		riskroute.HazardFitConfig{Metrics: tel.reg, Trace: tel.trace,
-			Health: tel.health, Logger: tel.logger})
+		riskroute.HazardFitConfig{Workers: workersFlag, Metrics: tel.reg,
+			Trace: tel.trace, Health: tel.health, Logger: tel.logger})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,7 +186,7 @@ func engineFor(w *worldFlags, name string, params riskroute.Params,
 	if err != nil {
 		return nil, nil, err
 	}
-	asg, err := riskroute.AssignPopulation(census, net)
+	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -448,7 +451,7 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	asg, err := riskroute.AssignPopulation(census, net)
+	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 	if err != nil {
 		return err
 	}

@@ -165,7 +165,7 @@ func cmdSeason(args []string) error {
 		return err
 	}
 	census := riskroute.SyntheticCensus(w.blocks, w.seed)
-	asg, err := riskroute.AssignPopulation(census, net)
+	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 	if err != nil {
 		return err
 	}

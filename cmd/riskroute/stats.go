@@ -81,7 +81,7 @@ func cmdStats(args []string) error {
 		return err
 	}
 	census := riskroute.SyntheticCensus(w.blocks, w.seed)
-	asg, err := riskroute.AssignPopulation(census, net)
+	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 	if err != nil {
 		return err
 	}

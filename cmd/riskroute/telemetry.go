@@ -35,6 +35,12 @@ type telemetryState struct {
 
 var tel telemetryState
 
+// workersFlag is the global -workers bound shared by every subcommand: it
+// caps the goroutines of hazard fitting, population assignment, and the
+// routing engine (0 = GOMAXPROCS, 1 = sequential). All parallel stages are
+// bit-deterministic, so the flag steers speed, never results.
+var workersFlag int
+
 // ensure lazily creates the registry, root trace, health funnel, flight
 // recorder, and ring-only logger (idempotent). Any observability flag arms
 // collection; `riskroute stats` and `riskroute check` arm it unconditionally.
@@ -61,6 +67,7 @@ func (t *telemetryState) ensure() {
 // (zero options when telemetry is off — every field is nil-safe).
 func telOptions() riskroute.Options {
 	return riskroute.Options{
+		Workers: workersFlag,
 		Metrics: tel.reg,
 		Trace:   tel.trace,
 		Health:  tel.health,
@@ -74,6 +81,8 @@ func telOptions() riskroute.Options {
 // body does any work.
 func addTelemetryFlags(fs *flag.FlagSet) {
 	tel.fs = fs
+	fs.IntVar(&workersFlag, "workers", 0,
+		"max goroutines for parallel stages (0 = all cores, 1 = sequential); results are identical at any setting")
 	fs.Func("telemetry", "emit a telemetry report to stderr on exit: text, json, or off", func(v string) error {
 		switch v {
 		case "off":
@@ -159,11 +168,13 @@ func writeTelemetryReport(w io.Writer, format string) error {
 }
 
 // obsFlags names the flags excluded from the manifest's config section:
-// they steer observability, not the computation, so two runs that differ
-// only in where they write their telemetry stay config-byte-equal.
+// they steer observability or scheduling, not the computation (every
+// parallel stage is bit-deterministic in the worker count), so two runs
+// that differ only in telemetry sinks or -workers stay config-byte-equal.
 var obsFlags = map[string]bool{
 	"telemetry": true, "log": true, "trace-out": true, "runs": true,
 	"cpuprofile": true, "memprofile": true, "debug-addr": true,
+	"workers": true,
 }
 
 // ledgerFinish freezes the run manifest: config from the parsed flag set

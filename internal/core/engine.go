@@ -27,6 +27,7 @@ import (
 
 	"riskroute/internal/graph"
 	"riskroute/internal/obs"
+	"riskroute/internal/parallel"
 	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
 	"riskroute/internal/topology"
@@ -430,11 +431,11 @@ func (e *Engine) evaluateSubset(sources, dests []int) Ratios {
 	}
 	sweep := e.opts.Trace.Child("sweep")
 	defer sweep.End()
-	workers := effectiveWorkers(len(sources), e.opts.Workers)
+	workers := parallel.Workers(len(sources), e.opts.Workers)
 	e.tel.workers.Set(float64(workers))
 	e.tel.evaluations.Inc()
 	e.prebuildBuckets()
-	partials := parallelMap(len(sources), workers, func(si int) partial {
+	partials := parallel.Map(len(sources), workers, func(si int) partial {
 		started := time.Now()
 		i := sources[si]
 		var p partial
@@ -547,10 +548,10 @@ func (e *Engine) TotalBitRisk() float64 {
 	n := e.N()
 	span := e.opts.Trace.Child("total-bit-risk")
 	defer span.End()
-	workers := effectiveWorkers(n, e.opts.Workers)
+	workers := parallel.Workers(n, e.opts.Workers)
 	e.tel.workers.Set(float64(workers))
 	e.prebuildBuckets()
-	partials := parallelMap(n, workers, func(i int) float64 {
+	partials := parallel.Map(n, workers, func(i int) float64 {
 		if e.skipSweep(i) {
 			return 0
 		}

@@ -52,6 +52,12 @@ type Config struct {
 	CVMaxEvents int
 	// Seed drives all synthetic generation (default 1).
 	Seed uint64
+	// Workers bounds the goroutines of every parallel stage — hazard
+	// fitting, cross-validation, population assignment, the routing engines
+	// (zero means GOMAXPROCS, one forces sequential). Every stage is
+	// bit-deterministic in the worker count, so Workers never changes a
+	// table or figure.
+	Workers int
 	// Metrics, when non-nil, receives experiment telemetry: per-experiment
 	// wall times (experiments.<name>.seconds gauges) plus everything the
 	// underlying hazard fit and routing engines record.
@@ -151,6 +157,7 @@ func NewLab(cfg Config) (*Lab, error) {
 	}
 	model, err := hazard.Fit(sources, hazard.FitConfig{
 		CellMiles: cfg.CellMiles,
+		Workers:   cfg.Workers,
 		Metrics:   cfg.Metrics,
 		Trace:     cfg.Trace,
 		Logger:    cfg.Logger,
@@ -221,7 +228,7 @@ func (l *Lab) Assignment(n *topology.Network) (*population.Assignment, error) {
 	if a, ok := l.assignments[n.Name]; ok {
 		return a, nil
 	}
-	a, err := population.Assign(l.Census, n)
+	a, err := population.AssignWorkers(l.Census, n, l.Cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +272,7 @@ func (l *Lab) EngineFor(n *topology.Network, params risk.Params, forecast []floa
 	}
 	return core.New(ctx, core.Options{
 		AlphaBuckets: l.Cfg.AlphaBuckets,
+		Workers:      l.Cfg.Workers,
 		Metrics:      l.Cfg.Metrics,
 		Trace:        l.Cfg.Trace,
 		Logger:       l.Cfg.Logger,
@@ -312,6 +320,7 @@ func (l *Lab) RegionalNames() []string {
 func newEngineForLab(l *Lab, ctx *risk.Context) (*core.Engine, error) {
 	return core.New(ctx, core.Options{
 		AlphaBuckets: l.Cfg.AlphaBuckets,
+		Workers:      l.Cfg.Workers,
 		Metrics:      l.Cfg.Metrics,
 		Trace:        l.Cfg.Trace,
 		Logger:       l.Cfg.Logger,

@@ -41,6 +41,7 @@ func (l *Lab) Table1() (*Table1Result, error) {
 			Candidates: kde.LogGrid(2, 600, l.Cfg.CVCandidates),
 			MaxEvents:  l.Cfg.CVMaxEvents,
 			Seed:       l.Cfg.Seed,
+			Workers:    l.Cfg.Workers,
 			Metrics:    l.Cfg.Metrics,
 		})
 		out.Rows = append(out.Rows, Table1Row{

@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormalizeLonPinned pins the constant-time normalizeLon to the fixpoint
+// of the old add/subtract-360 loop, boundary behavior included: values
+// normalized from above land in (-180, 180], from below in [-180, 180), and
+// in-range inputs pass through untouched.
+func TestNormalizeLonPinned(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{179.5, 179.5},
+		{-179.5, -179.5},
+		{180, 180},   // in range: untouched
+		{-180, -180}, // in range: untouched
+		{181, -179},
+		{-181, 179},
+		{360, 0},
+		{-360, 0},
+		{540, 180},   // from above: lands on +180
+		{-540, -180}, // from below: lands on -180
+		{900, 180},
+		{-900, -180},
+		{720.25, 0.25},
+		{-720.25, -0.25},
+		{1e6, -80}, // 1e6 = 2778*360 - 80
+		{-1e6, 80},
+		{1e9 + 100, normalizeLonLoop(1e9 + 100)},
+		{-1e9 - 100, normalizeLonLoop(-1e9 - 100)},
+	}
+	for _, c := range cases {
+		if got := normalizeLon(c.in); got != c.want {
+			t.Errorf("normalizeLon(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// normalizeLonLoop is the reference iterative implementation normalizeLon
+// must agree with bit-for-bit.
+func normalizeLonLoop(lon float64) float64 {
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}
+
+// TestEquirectWithinTolerance scans the guard envelope — latitudes within
+// ±EquirectMaxLat, separations up to EquirectMaxRadiusMiles — and checks
+// EquirectDistance against the haversine Distance at every sample. This is
+// the empirical basis for the envelope constants: widening either bound past
+// its current value pushes the worst case over EquirectTolMiles.
+func TestEquirectWithinTolerance(t *testing.T) {
+	worst := 0.0
+	for lat := -EquirectMaxLat; lat <= EquirectMaxLat; lat += 2 {
+		a := Point{Lat: lat, Lon: -95}
+		for brg := 0.0; brg < 360; brg += 30 {
+			for d := 10.0; d <= EquirectMaxRadiusMiles; d += 10 {
+				b := Destination(a, brg, d)
+				if math.Abs(b.Lat) > EquirectMaxLat {
+					continue // both endpoints must stay inside the envelope
+				}
+				err := math.Abs(EquirectDistance(a, b) - Distance(a, b))
+				if err > worst {
+					worst = err
+				}
+				if err > EquirectTolMiles {
+					t.Fatalf("equirect error %.4f mi > %.2f at lat=%.0f brg=%.0f d=%.0f",
+						err, EquirectTolMiles, lat, brg, d)
+				}
+			}
+		}
+	}
+	t.Logf("worst equirect error in envelope: %.4f mi", worst)
+}
+
+// TestEquirectOKGuard pins the guard's accept/reject behavior at and around
+// the envelope edges.
+func TestEquirectOKGuard(t *testing.T) {
+	cases := []struct {
+		lat, radius float64
+		want        bool
+	}{
+		{0, 100, true},
+		{EquirectMaxLat, EquirectMaxRadiusMiles, true},
+		{EquirectMaxLat + 0.1, 100, false},
+		{40, EquirectMaxRadiusMiles + 1, false},
+		{40, 0, false},   // degenerate radius
+		{-1, 100, false}, // maxAbsLat is a magnitude; negative is a caller bug
+	}
+	for _, c := range cases {
+		if got := EquirectOK(c.lat, c.radius); got != c.want {
+			t.Errorf("EquirectOK(%v, %v) = %v, want %v", c.lat, c.radius, got, c.want)
+		}
+	}
+}
+
+func BenchmarkGeoDistance(b *testing.B) {
+	a := Point{Lat: 41.2, Lon: -96.1}
+	p := Point{Lat: 42.9, Lon: -93.4}
+	b.Run("haversine", func(b *testing.B) {
+		s := 0.0
+		for i := 0; i < b.N; i++ {
+			s += Distance(a, p)
+		}
+		sink = s
+	})
+	b.Run("equirect", func(b *testing.B) {
+		s := 0.0
+		for i := 0; i < b.N; i++ {
+			s += EquirectDistance(a, p)
+		}
+		sink = s
+	})
+}
+
+var sink float64

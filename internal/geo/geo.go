@@ -121,14 +121,71 @@ func Destination(origin Point, bearingDeg, dist float64) Point {
 	return Point{Lat: RadToDeg(lat2), Lon: normalizeLon(RadToDeg(lon2))}
 }
 
+// normalizeLon wraps a longitude into [-180, 180] in constant time. It
+// matches the fixpoint of repeatedly adding or subtracting 360: values
+// normalized from above land in (-180, 180], values from below in
+// [-180, 180), and in-range inputs (±180 included) pass through unchanged.
 func normalizeLon(lon float64) float64 {
-	for lon > 180 {
-		lon -= 360
-	}
-	for lon < -180 {
-		lon += 360
+	switch {
+	case lon > 180:
+		lon = math.Mod(lon+180, 360) // in [0, 360)
+		if lon == 0 {
+			return 180
+		}
+		return lon - 180
+	case lon < -180:
+		lon = math.Mod(lon-180, 360) // in (-360, 0]
+		if lon == 0 {
+			return -180
+		}
+		return lon + 180
 	}
 	return lon
+}
+
+// milesPerDegree is the great-circle length of one degree of arc on the
+// sphere, in statute miles (≈69.09).
+const milesPerDegree = EarthRadiusMiles * math.Pi / 180
+
+// Equirectangular-approximation envelope: EquirectDistance agrees with
+// Distance to better than EquirectTolMiles for point pairs up to
+// EquirectMaxRadiusMiles apart whose latitudes stay within
+// ±EquirectMaxLat. The envelope is pinned by TestEquirectWithinTolerance
+// and FuzzEquirectGuard; EquirectOK is the guard hot paths consult before
+// taking the cheap local-distance route.
+const (
+	EquirectMaxRadiusMiles = 260.0
+	EquirectMaxLat         = 52.0
+	EquirectTolMiles       = 0.1
+)
+
+// EquirectDistance returns the local equirectangular ("flat-earth with
+// meridian convergence") approximation of the great-circle distance between
+// a and b in statute miles:
+//
+//	d ≈ √( (R·Δφ)² + (R·cos(φ_mid)·Δλ)² )
+//
+// Longitude differences are taken numerically (no antimeridian wrap), the
+// same convention grid rasterization uses. Within the EquirectOK envelope
+// the result is exact to EquirectTolMiles; outside it the error grows with
+// distance cubed and with latitude, so callers must consult EquirectOK and
+// fall back to Distance.
+func EquirectDistance(a, b Point) float64 {
+	dy := milesPerDegree * (b.Lat - a.Lat)
+	dx := milesPerDegree * math.Cos(DegToRad((a.Lat+b.Lat)/2)) * (b.Lon - a.Lon)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// EquirectOK reports whether EquirectDistance is a valid substitute for
+// Distance — error below EquirectTolMiles — for all point pairs up to
+// radiusMiles apart whose latitudes stay within ±maxAbsLat. The guard
+// rejects polar latitudes (where meridian convergence breaks the midpoint
+// cosine) and radii large enough for the sphere's curvature to matter;
+// callers near the antimeridian must also ensure longitude differences are
+// numeric (no ±180 wrap), which holds for any axis-aligned grid.
+func EquirectOK(maxAbsLat, radiusMiles float64) bool {
+	return radiusMiles > 0 && radiusMiles <= EquirectMaxRadiusMiles &&
+		maxAbsLat >= 0 && maxAbsLat <= EquirectMaxLat
 }
 
 // Bounds is an axis-aligned geographic bounding box.

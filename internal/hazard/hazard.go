@@ -91,6 +91,11 @@ type FitConfig struct {
 	// CV configures bandwidth cross-validation for sources with Bandwidth
 	// zero. The zero value uses kde defaults.
 	CV kde.CVConfig
+	// Workers bounds the goroutines used for rasterization and, unless
+	// CV.Workers is set explicitly, cross-validation (zero means GOMAXPROCS,
+	// one forces sequential). Fitted fields and selected bandwidths are
+	// bit-identical at every worker count.
+	Workers int
 	// Lenient makes Fit fail open: a source that cannot be fitted (no
 	// events, too few events for cross-validation, negative scale, or an
 	// injected fault) is dropped and recorded instead of aborting the whole
@@ -173,6 +178,9 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 	if cfg.CV.Metrics == nil {
 		cfg.CV.Metrics = cfg.Metrics
 	}
+	if cfg.CV.Workers == 0 {
+		cfg.CV.Workers = cfg.Workers
+	}
 	fit := cfg.Trace.Child("fit")
 	defer fit.End()
 	lg := obs.LoggerOrNop(cfg.Logger)
@@ -224,7 +232,7 @@ func Fit(sources []Source, cfg FitConfig) (*Model, error) {
 		}
 		est := kde.New(s.Events, bw)
 		grid := gridFor(cfg.Bounds, cfg.CellMiles, bw)
-		field := kde.Rasterize(est, grid, 5)
+		field := kde.RasterizeWorkers(est, grid, 5, cfg.Workers)
 		if s.Scale != 0 && s.Scale != 1 {
 			field.Scale(s.Scale)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"riskroute/internal/geo"
 	"riskroute/internal/obs"
+	"riskroute/internal/parallel"
 	"riskroute/internal/stats"
 )
 
@@ -28,8 +29,13 @@ type CVConfig struct {
 	Grid geo.Grid
 	// Seed drives fold assignment and subsampling.
 	Seed uint64
+	// Workers bounds the goroutines used to score candidates (zero means
+	// GOMAXPROCS, one forces sequential). Scores and the winning bandwidth
+	// are bit-identical at every worker count.
+	Workers int
 	// Metrics, when non-nil, receives cross-validation telemetry under
-	// kde.cv.* (sweep timing histogram, events used, candidates scored).
+	// kde.cv.* (sweep timing histogram, events used, candidates scored,
+	// resolved worker count, kernel splats performed).
 	Metrics *obs.Registry
 }
 
@@ -81,6 +87,15 @@ type CVResult struct {
 // across folds. The candidate minimizing the mean divergence wins. This
 // mirrors the paper's Section 5.2 procedure (5-way CV, KL divergence
 // criterion). It panics with fewer than 2×Folds events.
+//
+// Per candidate, every event is splatted exactly once — into its own fold's
+// unnormalized field — and each fold's train field is recovered by
+// subtracting the fold's field from the total and renormalizing by
+// 1/(2πσ²·N_train). Splatting is additive, so this is algebraically the
+// train-set rasterization at a k-fold discount (N splats per candidate
+// instead of (k−1)·N); see DESIGN.md section 8. Candidates are scored in
+// parallel under cfg.Workers with slot-written results, so Scores are
+// bit-identical at every worker count.
 func SelectBandwidth(events []geo.Point, cfg CVConfig) CVResult {
 	cfg = cfg.withDefaults()
 	if len(events) < 2*cfg.Folds {
@@ -105,8 +120,28 @@ func SelectBandwidth(events []geo.Point, cfg CVConfig) CVResult {
 	}
 
 	folds := stats.KFold(len(events), cfg.Folds, rng)
-	scores := make([]float64, len(cfg.Candidates))
 	cells := cfg.Grid.Size()
+
+	// Scratch index mapping event -> fold, and per-fold train sizes. This
+	// replaces a per-fold membership map: one O(N) pass serves every fold.
+	foldOf := make([]int, len(events))
+	trainN := make([]float64, cfg.Folds)
+	for f, test := range folds {
+		for _, i := range test {
+			foldOf[i] = f
+		}
+		trainN[f] = float64(len(events) - len(test))
+	}
+
+	// Histogram each fold's held-out events once, up front.
+	hists := make([][]float64, cfg.Folds)
+	for f := range hists {
+		hists[f] = make([]float64, cells)
+	}
+	for i, ev := range events {
+		r, c := cfg.Grid.Cell(ev)
+		hists[foldOf[i]][cfg.Grid.Index(r, c)]++
+	}
 
 	// Cell areas convert densities (per square mile) to per-cell probability
 	// mass so the KL divergence compares like with like.
@@ -119,39 +154,44 @@ func SelectBandwidth(events []geo.Point, cfg CVConfig) CVResult {
 		}
 	}
 
-	for f := 0; f < cfg.Folds; f++ {
-		test := folds[f]
-		train := make([]geo.Point, 0, len(events)-len(test))
-		inTest := make(map[int]bool, len(test))
-		for _, i := range test {
-			inTest[i] = true
+	workers := parallel.Workers(len(cfg.Candidates), cfg.Workers)
+	cfg.Metrics.Gauge("kde.cv.workers").Set(float64(workers))
+	cfg.Metrics.Counter("kde.cv.splats_total").
+		Add(int64(len(events)) * int64(len(cfg.Candidates)))
+
+	scores := parallel.Map(len(cfg.Candidates), workers, func(ci int) float64 {
+		bw := cfg.Candidates[ci]
+		// One splat pass over the whole catalog, routed into per-fold
+		// unnormalized fields.
+		fields := make([][]float64, cfg.Folds)
+		for f := range fields {
+			fields[f] = make([]float64, cells)
 		}
-		for i, ev := range events {
-			if !inTest[i] {
-				train = append(train, ev)
+		splatInto(fields, foldOf, events, bw, 5, cfg.Grid, cfg.Workers)
+
+		// Total field, accumulated in fold order (deterministic).
+		full := make([]float64, cells)
+		for _, fv := range fields {
+			for i, v := range fv {
+				full[i] += v
 			}
 		}
 
-		// Histogram the held-out events once per fold.
-		hist := make([]float64, cells)
-		for _, i := range test {
-			r, c := cfg.Grid.Cell(events[i])
-			hist[cfg.Grid.Index(r, c)]++
-		}
-
-		for ci, bw := range cfg.Candidates {
-			field := Rasterize(New(train, bw), cfg.Grid, 5)
-			pred := make([]float64, cells)
-			for i, v := range field.Values {
-				pred[i] = v * areas[i]
+		pred := make([]float64, cells)
+		sum := 0.0
+		for f := 0; f < cfg.Folds; f++ {
+			norm := 1 / (2 * math.Pi * bw * bw * trainN[f])
+			fv := fields[f]
+			for i := range pred {
+				pred[i] = (full[i] - fv[i]) * norm * areas[i]
 			}
-			scores[ci] += stats.KLDivergence(hist, pred)
+			sum += stats.KLDivergence(hists[f], pred)
 		}
-	}
+		return sum / float64(cfg.Folds)
+	})
 
 	best := 0
 	for i := range scores {
-		scores[i] /= float64(cfg.Folds)
 		if scores[i] < scores[best] {
 			best = i
 		}
@@ -195,6 +235,7 @@ func SelectBandwidthRefined(events []geo.Point, cfg CVConfig, iterations int) CV
 			MaxEvents:  cfg.MaxEvents,
 			Grid:       cfg.Grid,
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 			Metrics:    cfg.Metrics,
 		})
 		return r.Scores[0]

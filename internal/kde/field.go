@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"riskroute/internal/geo"
+	"riskroute/internal/parallel"
 )
 
 // Field is a kernel density surface rasterized onto a regular geographic
@@ -25,33 +26,116 @@ func NewField(grid geo.Grid) *Field {
 // kernel splatting: each event contributes only to cells within cutoff
 // standard deviations (beyond which the Gaussian is negligible), so cost
 // scales with events × covered cells rather than events × all cells.
-// A cutoff of 5 keeps relative error below 1e-5.
+// A cutoff of 5 keeps relative error below 1e-5. The event loop is sharded
+// over GOMAXPROCS workers; see RasterizeWorkers for an explicit bound.
 func Rasterize(e *Estimator, grid geo.Grid, cutoff float64) *Field {
+	return RasterizeWorkers(e, grid, cutoff, 0)
+}
+
+// RasterizeWorkers is Rasterize with an explicit worker bound (zero means
+// GOMAXPROCS, one forces sequential). Workers own disjoint grid-row ranges,
+// so every cell accumulates its covering events in catalog order and the
+// field is bit-identical at any worker count.
+func RasterizeWorkers(e *Estimator, grid geo.Grid, cutoff float64, workers int) *Field {
 	if cutoff <= 0 {
 		cutoff = 5
 	}
 	f := NewField(grid)
+	splatInto([][]float64{f.Values}, nil, e.Events, e.Bandwidth, cutoff, grid, workers)
 	sigma := e.Bandwidth
-	inv2s2 := 1 / (2 * sigma * sigma)
-	radiusMiles := cutoff * sigma
+	norm := 1 / (2 * math.Pi * sigma * sigma * float64(len(e.Events)))
+	for i := range f.Values {
+		f.Values[i] *= norm
+	}
+	return f
+}
 
-	// Convert the cutoff radius to conservative (large) cell spans.
-	latSpan := int(radiusMiles/69.0/grid.CellHeight()) + 2
-	for _, ev := range e.Events {
+// splatter carries the per-rasterization invariants of kernel splatting:
+// the grid, the Gaussian scale, the cutoff radius, and the choice between
+// the exact-within-tolerance local equirectangular distance and the full
+// haversine (see splatRows).
+type splatter struct {
+	grid    geo.Grid
+	sigma   float64
+	inv2s2  float64
+	radius  float64 // cutoff radius in miles
+	radius2 float64
+	hRadius float64 // cutoff in haversine space: sin²(radius / 2R)
+	latSpan int     // conservative row half-span of the cutoff radius
+	// gridEquirect reports that every cell center's latitude is inside the
+	// equirectangular envelope for this radius; individual events still
+	// check their own latitude before taking the fast path.
+	gridEquirect bool
+}
+
+func newSplatter(grid geo.Grid, sigma, cutoff float64) splatter {
+	radius := cutoff * sigma
+	s := splatter{
+		grid:    grid,
+		sigma:   sigma,
+		inv2s2:  1 / (2 * sigma * sigma),
+		radius:  radius,
+		radius2: radius * radius,
+		latSpan: int(radius/69.0/grid.CellHeight()) + 2,
+	}
+	half := radius / (2 * geo.EarthRadiusMiles)
+	if half >= math.Pi/2 {
+		s.hRadius = 1 // radius exceeds half the circumference: keep everything
+	} else {
+		sh := math.Sin(half)
+		s.hRadius = sh * sh
+	}
+	maxAbsLat := math.Max(math.Abs(grid.Bounds.MinLat), math.Abs(grid.Bounds.MaxLat))
+	s.gridEquirect = geo.EquirectOK(maxAbsLat, radius)
+	return s
+}
+
+// splatInto accumulates every event's unnormalized kernel (Σ exp(−d²/2σ²))
+// into fields[fieldOf[ei]] — or into fields[0] for all events when fieldOf
+// is nil — sharding the work across workers by disjoint grid-row blocks.
+// Each cell is owned by exactly one worker and accumulates its covering
+// events in catalog order, so the result is bit-identical at any worker
+// count (DESIGN.md section 8's slot-writing rule).
+func splatInto(fields [][]float64, fieldOf []int, events []geo.Point, sigma, cutoff float64, grid geo.Grid, workers int) {
+	s := newSplatter(grid, sigma, cutoff)
+	w := parallel.Workers(grid.Rows, workers)
+	if w <= 1 {
+		s.splatRows(fields, fieldOf, events, 0, grid.Rows)
+		return
+	}
+	blocks := parallel.Blocks(grid.Rows, w)
+	parallel.ForEach(len(blocks), w, func(bi int) {
+		s.splatRows(fields, fieldOf, events, blocks[bi].Lo, blocks[bi].Hi)
+	})
+}
+
+// splatRows splats every event's window restricted to grid rows [ra, rb).
+// Per-row quantities — cell-center latitude trig, the equirectangular
+// meridian-convergence factor — are hoisted out of the column loop, so the
+// inner loop is a multiply-add and one exp on the fast path.
+func (s *splatter) splatRows(fields [][]float64, fieldOf []int, events []geo.Point, ra, rb int) {
+	grid := s.grid
+	cellW := grid.CellWidth()
+	cellH := grid.CellHeight()
+	lon0 := grid.Bounds.MinLon + 0.5*cellW // longitude of column 0's center
+	lat0 := grid.Bounds.MinLat + 0.5*cellH // latitude of row 0's center
+	const milesPerDeg = geo.EarthRadiusMiles * math.Pi / 180
+
+	for ei, ev := range events {
+		// Conservative (large) cell spans for the cutoff radius.
 		cosLat := math.Cos(geo.DegToRad(ev.Lat))
 		if cosLat < 0.2 {
 			cosLat = 0.2
 		}
-		lonSpan := int(radiusMiles/(69.0*cosLat)/grid.CellWidth()) + 2
-
+		lonSpan := int(s.radius/(69.0*cosLat)/cellW) + 2
 		er, ec := grid.Cell(ev)
-		r0, r1 := er-latSpan, er+latSpan
+		r0, r1 := er-s.latSpan, er+s.latSpan
 		c0, c1 := ec-lonSpan, ec+lonSpan
-		if r0 < 0 {
-			r0 = 0
+		if r0 < ra {
+			r0 = ra
 		}
-		if r1 >= grid.Rows {
-			r1 = grid.Rows - 1
+		if r1 >= rb {
+			r1 = rb - 1
 		}
 		if c0 < 0 {
 			c0 = 0
@@ -59,21 +143,68 @@ func Rasterize(e *Estimator, grid geo.Grid, cutoff float64) *Field {
 		if c1 >= grid.Cols {
 			c1 = grid.Cols - 1
 		}
-		for r := r0; r <= r1; r++ {
-			for c := c0; c <= c1; c++ {
-				d := geo.Distance(ev, grid.CellCenter(r, c))
-				if d > radiusMiles {
+		if r0 > r1 || c0 > c1 {
+			continue
+		}
+		dst := fields[0]
+		if fieldOf != nil {
+			dst = fields[fieldOf[ei]]
+		}
+		if s.gridEquirect && math.Abs(ev.Lat) <= geo.EquirectMaxLat {
+			// Fast path: local equirectangular distance, exact to
+			// geo.EquirectTolMiles inside the guard envelope. No trig in the
+			// column loop — dx advances linearly with the column index.
+			for r := r0; r <= r1; r++ {
+				latc := lat0 + float64(r)*cellH
+				dy := milesPerDeg * (latc - ev.Lat)
+				dy2 := dy * dy
+				if dy2 > s.radius2 {
 					continue
 				}
-				f.Values[grid.Index(r, c)] += math.Exp(-d * d * inv2s2)
+				k := milesPerDeg * math.Cos(geo.DegToRad((ev.Lat+latc)/2))
+				dx0 := k * (lon0 + float64(c0)*cellW - ev.Lon)
+				step := k * cellW
+				row := grid.Index(r, 0)
+				for c := c0; c <= c1; c++ {
+					dx := dx0 + float64(c-c0)*step
+					d2 := dy2 + dx*dx
+					if d2 > s.radius2 {
+						continue
+					}
+					dst[row+c] += math.Exp(-d2 * s.inv2s2)
+				}
+			}
+			continue
+		}
+		// Exact path: haversine with the per-row terms hoisted. Cell centers
+		// use the same expressions as grid.CellCenter and the cutoff test runs
+		// in haversine space (h vs sin²(radius/2R)), so accepted cells get the
+		// exact same contribution as a geo.Distance cutoff check while
+		// rejected cells never pay the sqrt/asin.
+		lat1 := geo.DegToRad(ev.Lat)
+		cosLat1 := math.Cos(lat1)
+		for r := r0; r <= r1; r++ {
+			lat2 := geo.DegToRad(grid.Bounds.MinLat + (float64(r)+0.5)*cellH)
+			dLat := lat2 - lat1
+			sinLat := math.Sin(dLat / 2)
+			a := sinLat * sinLat
+			b := cosLat1 * math.Cos(lat2)
+			row := grid.Index(r, 0)
+			for c := c0; c <= c1; c++ {
+				lonc := grid.Bounds.MinLon + (float64(c)+0.5)*cellW
+				sinLon := math.Sin(geo.DegToRad(lonc-ev.Lon) / 2)
+				h := a + b*sinLon*sinLon
+				if h > s.hRadius {
+					continue
+				}
+				if h > 1 {
+					h = 1
+				}
+				d := 2 * geo.EarthRadiusMiles * math.Asin(math.Sqrt(h))
+				dst[row+c] += math.Exp(-d * d * s.inv2s2)
 			}
 		}
 	}
-	norm := 1 / (2 * math.Pi * sigma * sigma * float64(len(e.Events)))
-	for i := range f.Values {
-		f.Values[i] *= norm
-	}
-	return f
 }
 
 // At returns the bilinearly interpolated density at p. Points outside the

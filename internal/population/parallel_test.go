@@ -1,0 +1,82 @@
+package population
+
+import (
+	"math/rand"
+	"testing"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/topology"
+)
+
+func randomWorld(blocks, pops int, seed int64) (*Census, *topology.Network) {
+	rng := rand.New(rand.NewSource(seed))
+	bs := make([]Block, blocks)
+	for i := range bs {
+		bs[i] = Block{
+			Location: geo.Point{
+				Lat: 26 + rng.Float64()*22,
+				Lon: -122 + rng.Float64()*52,
+			},
+			Population: float64(1 + rng.Intn(5000)),
+			State:      "XX",
+		}
+	}
+	n := &topology.Network{Name: "Rand", Tier: topology.Tier1}
+	for i := 0; i < pops; i++ {
+		n.PoPs = append(n.PoPs, topology.PoP{
+			Name:     string(rune('A' + i%26)),
+			Location: geo.Point{Lat: 27 + rng.Float64()*20, Lon: -120 + rng.Float64()*48},
+		})
+		if i > 0 {
+			n.Links = append(n.Links, topology.Link{A: i - 1, B: i})
+		}
+	}
+	return NewCensus(bs), n
+}
+
+// TestAssignWorkersDeterministic: the block scan is sharded into fixed-size
+// chunks whose partial sums merge in chunk order, so Served and Fractions
+// must be bit-identical at any worker count. The census is sized to span
+// several chunks.
+func TestAssignWorkersDeterministic(t *testing.T) {
+	c, n := randomWorld(3*assignChunkSize+517, 24, 41)
+	want, err := AssignWorkers(c, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got, err := AssignWorkers(c, n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Served {
+			if got.Served[i] != want.Served[i] {
+				t.Fatalf("workers=%d: Served[%d] = %x, want %x (bit-exact)",
+					w, i, got.Served[i], want.Served[i])
+			}
+			if got.Fractions[i] != want.Fractions[i] {
+				t.Fatalf("workers=%d: Fractions[%d] = %x, want %x (bit-exact)",
+					w, i, got.Fractions[i], want.Fractions[i])
+			}
+		}
+	}
+}
+
+func BenchmarkPopulationAssign(b *testing.B) {
+	c, n := randomWorld(40000, 40, 19)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"workers4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := AssignWorkers(c, n, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"riskroute/internal/geo"
+	"riskroute/internal/parallel"
 	"riskroute/internal/topology"
 )
 
@@ -67,8 +68,21 @@ type Assignment struct {
 // every block. Fractions are normalized by the population actually assigned,
 // so they always sum to 1 (a PoP pair's impact α_ij = c_i + c_j is then
 // comparable across networks). It returns an error if no population lands in
-// scope.
+// scope. The block scan runs on GOMAXPROCS workers; see AssignWorkers for an
+// explicit bound.
 func Assign(c *Census, n *topology.Network) (*Assignment, error) {
+	return AssignWorkers(c, n, 0)
+}
+
+// assignChunkSize is the fixed block-chunk granularity of AssignWorkers.
+// Boundaries depend only on the census size — never the worker count — and
+// per-chunk partial sums merge in chunk order, so the served vector is
+// bit-identical at any parallelism level.
+const assignChunkSize = 8192
+
+// AssignWorkers is Assign with an explicit worker bound (zero means
+// GOMAXPROCS, one forces sequential).
+func AssignWorkers(c *Census, n *topology.Network, workers int) (*Assignment, error) {
 	inScope := func(b Block) bool { return true }
 	if n.Tier == topology.Regional {
 		states := make(map[string]bool)
@@ -81,15 +95,28 @@ func Assign(c *Census, n *topology.Network) (*Assignment, error) {
 	}
 
 	idx := geo.NewPointIndex(n.Locations())
+	chunks := parallel.Chunks(len(c.Blocks), assignChunkSize)
+	partials := parallel.Map(len(chunks), workers, func(ci int) []float64 {
+		part := make([]float64, len(n.PoPs))
+		for _, b := range c.Blocks[chunks[ci].Lo:chunks[ci].Hi] {
+			if b.Population == 0 || !inScope(b) {
+				continue
+			}
+			nearest, _ := idx.Nearest(b.Location)
+			part[nearest] += b.Population
+		}
+		return part
+	})
+
 	served := make([]float64, len(n.PoPs))
 	assigned := 0.0
-	for _, b := range c.Blocks {
-		if b.Population == 0 || !inScope(b) {
-			continue
+	for _, part := range partials { // chunk order: deterministic merge
+		for i, v := range part {
+			served[i] += v
 		}
-		nearest, _ := idx.Nearest(b.Location)
-		served[nearest] += b.Population
-		assigned += b.Population
+	}
+	for _, s := range served {
+		assigned += s
 	}
 	if assigned <= 0 {
 		return nil, fmt.Errorf("population: no census population in scope of network %q", n.Name)

@@ -141,6 +141,13 @@ func AssignPopulation(c *Census, n *Network) (*Assignment, error) {
 	return population.Assign(c, n)
 }
 
+// AssignPopulationWorkers is AssignPopulation with an explicit worker bound
+// (zero means GOMAXPROCS, one forces sequential). The assignment is
+// bit-identical at every worker count.
+func AssignPopulationWorkers(c *Census, n *Network, workers int) (*Assignment, error) {
+	return population.AssignWorkers(c, n, workers)
+}
+
 // GravityImpact derives a gravity-model traffic matrix from an assignment —
 // the paper's suggested traffic-flow alternative to the additive impact
 // α_ij = c_i + c_j. Plug the result into Context.Impact.
