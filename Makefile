@@ -3,8 +3,8 @@ GO ?= go
 # BENCH_BASELINE / BENCH_NEW name the checked-in summaries the regression
 # gate compares; BENCH_THRESHOLD is the min-ns/op slowdown (percent) that
 # fails bench-compare.
-BENCH_BASELINE ?= BENCH_PR3.json
-BENCH_NEW ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_NEW ?= BENCH_PR5.json
 BENCH_THRESHOLD ?= 10
 
 .PHONY: tier1 tier2 fuzz-smoke bench bench-compare determinism
@@ -45,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseGraphML$$' -fuzztime=5s ./internal/topology
 	$(GO) test -run='^$$' -fuzz='^FuzzParseAdvisory$$' -fuzztime=5s ./internal/forecast
 	$(GO) test -run='^$$' -fuzz='^FuzzEquirectGuard$$' -fuzztime=5s ./internal/geo
+	$(GO) test -run='^$$' -fuzz='^FuzzAdvisoryIngest$$' -fuzztime=5s ./internal/serve
 
 # determinism replays the bit-identity tests under contrasting scheduler
 # widths: results must not depend on how many cores the host exposes.

@@ -1,0 +1,277 @@
+// Command riskrouted is the online RiskRoute serving daemon: it warms the
+// hazard and population world once at startup, then serves risk-aware
+// routing queries over HTTP and re-prices routes live as NHC advisories
+// are POSTed to it.
+//
+//	riskrouted -addr :8080
+//	curl 'localhost:8080/v1/route?network=Level3&from=Houston&to=Boston'
+//	riskrouted -emit-advisory Sandy:30 | curl --data-binary @- localhost:8080/v1/advisory
+//	curl 'localhost:8080/v1/route?network=Level3&from=Houston&to=Boston'   # re-priced
+//
+// Endpoints: /v1/route, /v1/ratio, /v1/pops, /v1/risk, /v1/advisory
+// (GET current, POST ingest), /v1/healthz, /v1/readyz.
+//
+// The daemon doubles as its own load generator:
+//
+//	riskrouted -loadgen -target http://localhost:8080 -clients 32 -duration 10s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"riskroute"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "riskrouted:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed daemon configuration.
+type options struct {
+	addr        string
+	networks    string
+	blocks      int
+	eventScale  float64
+	seed        uint64
+	workers     int
+	maxInFlight int
+	queueTO     time.Duration
+	requestTO   time.Duration
+	drainTO     time.Duration
+	cacheSize   int
+	logMode     string
+	telemetry   string
+	runsDir     string
+
+	emitAdvisory string
+	loadgen      bool
+	target       string
+	clients      int
+	duration     time.Duration
+	lgNetwork    string
+	lgSeed       uint64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("riskrouted", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	fs.StringVar(&o.networks, "networks", "", "comma-separated subset of embedded networks to serve (default all 23)")
+	fs.IntVar(&o.blocks, "blocks", 20000, "synthetic census blocks")
+	fs.Float64Var(&o.eventScale, "event-scale", 0.2, "disaster catalog scale (1.0 = paper size)")
+	fs.Uint64Var(&o.seed, "seed", 1, "world seed")
+	fs.IntVar(&o.workers, "workers", 0, "max goroutines for warmup and snapshot rebuilds (0 = all cores)")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 64, "max concurrently executing compute requests")
+	fs.DurationVar(&o.queueTO, "queue-timeout", 100*time.Millisecond, "max wait for an admission slot before 429")
+	fs.DurationVar(&o.requestTO, "request-timeout", 15*time.Second, "per-request deadline")
+	fs.DurationVar(&o.drainTO, "drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	fs.IntVar(&o.cacheSize, "cache-size", 4096, "result cache entries (negative disables)")
+	fs.StringVar(&o.logMode, "log", "text", "structured log stream to stderr: text, json, or off")
+	fs.StringVar(&o.telemetry, "telemetry", "", "emit a metrics report to stderr on exit: text or json")
+	fs.StringVar(&o.runsDir, "runs", "", "write a run manifest for the server lifetime under dir/<runID>/")
+	fs.StringVar(&o.emitAdvisory, "emit-advisory", "", "print an embedded storm's advisory text (Storm or Storm:N) and exit")
+	fs.BoolVar(&o.loadgen, "loadgen", false, "run as a load generator against -target instead of serving")
+	fs.StringVar(&o.target, "target", "http://localhost:8080", "loadgen: base URL of a running riskrouted")
+	fs.IntVar(&o.clients, "clients", 16, "loadgen: concurrent clients")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "loadgen: run length")
+	fs.StringVar(&o.lgNetwork, "loadgen-network", "Level3", "loadgen: network to query")
+	fs.Uint64Var(&o.lgSeed, "loadgen-seed", 1, "loadgen: RNG seed for pair selection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if o.emitAdvisory != "" {
+		return emitAdvisory(os.Stdout, o.emitAdvisory)
+	}
+	if o.loadgen {
+		return runLoadgen(os.Stdout, o)
+	}
+	return serveDaemon(o, fs)
+}
+
+// emitAdvisory prints one bulletin of an embedded storm's generated corpus:
+// "Sandy:30" is advisory 30, bare "Sandy" the peak-wind advisory. The text
+// is exactly what the replay pipeline parses, so it is the natural payload
+// for POST /v1/advisory.
+func emitAdvisory(w io.Writer, spec string) error {
+	name, numStr, hasNum := strings.Cut(spec, ":")
+	track := riskroute.HurricaneByName(name)
+	if track == nil {
+		return fmt.Errorf("unknown storm %q (embedded: Irene, Katrina, Sandy)", name)
+	}
+	replay, err := riskroute.LoadHurricaneReplay(track)
+	if err != nil {
+		return err
+	}
+	pick := -1
+	if hasNum {
+		n, err := strconv.Atoi(numStr)
+		if err != nil || n < 1 || n > len(replay.Advisories) {
+			return fmt.Errorf("storm %s has advisories 1..%d, got %q", name, len(replay.Advisories), numStr)
+		}
+		pick = n - 1
+	} else {
+		best := 0.0
+		for i, a := range replay.Advisories {
+			if a.MaxWindMPH > best {
+				best, pick = a.MaxWindMPH, i
+			}
+		}
+	}
+	_, err = io.WriteString(w, replay.Advisories[pick].Text())
+	return err
+}
+
+// serveDaemon warms the world, serves until SIGTERM/SIGINT, then drains.
+func serveDaemon(o *options, fs *flag.FlagSet) error {
+	reg := riskroute.NewMetrics()
+	trace := riskroute.NewTrace("riskrouted")
+	flight := riskroute.NewFlightRecorder(0)
+	health := riskroute.NewPipelineHealth()
+	health.AttachMetrics(reg)
+
+	var logger *slog.Logger
+	switch o.logMode {
+	case "off":
+		logger = slog.New(flight.Wrap(nil))
+	case "text", "json":
+		h, err := riskroute.NewLogHandler(o.logMode, os.Stderr)
+		if err != nil {
+			return err
+		}
+		logger = slog.New(flight.Wrap(h))
+	default:
+		return fmt.Errorf("unknown log format %q (want text, json, or off)", o.logMode)
+	}
+	health.AttachLogger(logger)
+
+	var ledger *riskroute.RunLedger
+	if o.runsDir != "" {
+		var err error
+		ledger, err = riskroute.NewRunLedger(o.runsDir, "riskrouted", os.Args[1:])
+		if err != nil {
+			return err
+		}
+		ledger.AttachFlight(flight)
+	}
+
+	var nets []*riskroute.Network
+	if o.networks != "" {
+		for _, name := range strings.Split(o.networks, ",") {
+			name = strings.TrimSpace(name)
+			n := riskroute.BuiltinNetwork(name)
+			if n == nil {
+				return fmt.Errorf("unknown network %q", name)
+			}
+			nets = append(nets, n)
+		}
+	}
+
+	srv, err := riskroute.NewServer(riskroute.ServeConfig{
+		Networks:       nets,
+		Blocks:         o.blocks,
+		EventScale:     o.eventScale,
+		Seed:           o.seed,
+		Workers:        o.workers,
+		MaxInFlight:    o.maxInFlight,
+		QueueTimeout:   o.queueTO,
+		RequestTimeout: o.requestTO,
+		CacheSize:      o.cacheSize,
+		Metrics:        reg,
+		Trace:          trace,
+		Logger:         logger,
+		Health:         health,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout so scripts (and the CI smoke job)
+	// can scrape the port when -addr used :0.
+	fmt.Printf("riskrouted: listening on http://%s (generation %d)\n", ln.Addr(), srv.Generation())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	var runErr error
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			runErr = err
+		}
+	case <-ctx.Done():
+		// Graceful drain: flip readiness first so load balancers stop
+		// routing here, then let in-flight requests finish.
+		srv.Drain()
+		shCtx, cancel := context.WithTimeout(context.Background(), o.drainTO)
+		err := httpSrv.Shutdown(shCtx)
+		cancel()
+		if err != nil {
+			runErr = fmt.Errorf("drain: %w", err)
+		}
+	}
+	trace.End()
+
+	if o.telemetry == "text" || o.telemetry == "json" {
+		riskroute.CaptureRuntime(reg)
+		rep := riskroute.BuildTelemetryReport(reg, trace)
+		var werr error
+		if o.telemetry == "json" {
+			werr = rep.WriteJSON(os.Stderr)
+		} else {
+			werr = rep.WriteText(os.Stderr)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "riskrouted: telemetry report:", werr)
+		}
+	}
+	if ledger != nil {
+		fs.VisitAll(func(f *flag.Flag) {
+			switch f.Name {
+			case "log", "telemetry", "runs":
+			default:
+				ledger.SetConfig(f.Name, f.Value.String())
+			}
+		})
+		for _, e := range health.Events() {
+			if sev := e.Severity.String(); sev != "ok" {
+				detail := e.Detail
+				if e.Err != nil {
+					detail += " (" + e.Err.Error() + ")"
+				}
+				ledger.AddDegraded(riskroute.RunEvent{Stage: e.Stage, Severity: sev, Detail: detail})
+			}
+		}
+		if err := ledger.Finish(trace, reg, runErr); err != nil {
+			fmt.Fprintln(os.Stderr, "riskrouted: run ledger:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "riskrouted: wrote run manifest to %s/manifest.json\n",
+				strings.TrimSuffix(ledger.Dir(), "/"))
+		}
+	}
+	return runErr
+}

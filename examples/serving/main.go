@@ -1,0 +1,127 @@
+// Serving: run the RiskRoute engine as an online service instead of a batch
+// job. The daemon warms the hazard world once, serves risk-aware routing
+// queries over HTTP, and — the part a batch run cannot do — re-prices every
+// route in place when a new NHC advisory arrives, without dropping a single
+// in-flight request. This example drives the whole lifecycle in-process:
+// boot, query, advisory hot-swap, cache behaviour, and drain.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+
+	"riskroute"
+)
+
+func main() {
+	// 1. Warm the serving world: one network, reduced synthetic scale so the
+	// example runs in seconds. Production uses the defaults (all 23
+	// networks, full CLI-equivalent world).
+	net := riskroute.BuiltinNetwork("Sprint")
+	srv, err := riskroute.NewServer(riskroute.ServeConfig{
+		Networks:   []*riskroute.Network{net},
+		Blocks:     4000,
+		EventScale: 0.03,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s at generation %d\n", net.Name, srv.Generation())
+
+	// 2. Expose the daemon's HTTP surface. A real deployment passes
+	// srv.Handler() to http.Server; the test server keeps this runnable
+	// without binding a port.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	from, to := net.PoPs[0].Name, net.PoPs[len(net.PoPs)-1].Name
+	type leg struct {
+		Path         []string `json:"path"`
+		Miles        float64  `json:"miles"`
+		BitRiskMiles float64  `json:"bit_risk_miles"`
+	}
+	var route struct {
+		Generation uint64 `json:"generation"`
+		Storm      string `json:"storm"`
+		Shortest   leg    `json:"shortest"`
+		RiskRoute  leg    `json:"riskroute"`
+		Cached     bool   `json:"cached"`
+	}
+	query := func() {
+		v := url.Values{"network": {net.Name}, "from": {from}, "to": {to}}
+		resp, err := http.Get(ts.URL + "/v1/route?" + v.Encode())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("route: %s: %s", resp.Status, body)
+		}
+		if err := json.Unmarshal(body, &route); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Route before the storm.
+	query()
+	fmt.Printf("generation %d: %s -> %s\n", route.Generation, from, to)
+	fmt.Printf("  shortest  %6.0f mi  %8.0f bit-risk-miles\n",
+		route.Shortest.Miles, route.Shortest.BitRiskMiles)
+	fmt.Printf("  riskroute %6.0f mi  %8.0f bit-risk-miles\n",
+		route.RiskRoute.Miles, route.RiskRoute.BitRiskMiles)
+
+	// 4. The same query again is answered from the generation-keyed cache.
+	query()
+	fmt.Printf("repeat query cached: %v\n", route.Cached)
+
+	// 5. Hurricane Sandy's peak advisory arrives. POSTing the bulletin text
+	// re-prices the forecast risk layer and atomically publishes the next
+	// generation — readers never block, and the old cache entries die with
+	// their generation.
+	replay, err := riskroute.LoadHurricaneReplay(riskroute.HurricaneByName("Sandy"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak := replay.Advisories[0]
+	for _, a := range replay.Advisories {
+		if a.MaxWindMPH > peak.MaxWindMPH {
+			peak = a
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/advisory", "text/plain", strings.NewReader(peak.Text()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("advisory rejected: %s", resp.Status)
+	}
+	fmt.Printf("advisory hot-swap: %s advisory %d -> generation %d\n",
+		peak.Storm, peak.Number, srv.Generation())
+
+	// 6. Same pair, new generation: the forecast term now steers the route.
+	query()
+	fmt.Printf("generation %d (storm %s): cached=%v\n", route.Generation, route.Storm, route.Cached)
+	fmt.Printf("  riskroute %6.0f mi  %8.0f bit-risk-miles\n",
+		route.RiskRoute.Miles, route.RiskRoute.BitRiskMiles)
+
+	// 7. Drain before shutdown: readiness flips so load balancers stop
+	// sending traffic, while anything in flight finishes normally.
+	srv.Drain()
+	probe, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, probe.Body)
+	probe.Body.Close()
+	fmt.Printf("draining: readyz now %d\n", probe.StatusCode)
+}

@@ -52,3 +52,10 @@ func TestExampleCustomData(t *testing.T) {
 	runExample(t, "customdata",
 		"loaded GulfNet", "traffic-weighted ratios", "Katrina simulation")
 }
+
+func TestExampleServing(t *testing.T) {
+	runExample(t, "serving",
+		"serving Sprint at generation 1", "repeat query cached: true",
+		"advisory hot-swap: SANDY", "-> generation 2",
+		"draining: readyz now 503")
+}

@@ -299,6 +299,14 @@ func (e *Engine) bucketGraph(b int) *graph.Graph {
 	return e.bucketGraphs[b]
 }
 
+// Prebuild materializes every α-bucket graph eagerly. After Prebuild the
+// engine's query methods (RiskRoutePair, ShortestPair, Evaluate, …) are safe
+// for concurrent callers: all remaining state is read-only, and the lazy
+// bucket-graph initialization — the engine's only internal mutation — has
+// already happened. The serving daemon calls this once per published
+// snapshot so request goroutines share one engine without locks.
+func (e *Engine) Prebuild() { e.prebuildBuckets() }
+
 // prebuildBuckets materializes every bucket graph up front so parallel
 // workers never race on the lazy initialization.
 func (e *Engine) prebuildBuckets() {

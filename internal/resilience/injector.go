@@ -24,6 +24,15 @@ const (
 	// PointDijkstraSweep fires per source of the engine's all-pairs sweeps,
 	// keyed by source PoP index.
 	PointDijkstraSweep Point = "dijkstra-sweep"
+	// PointServeParse fires in the serving daemon's advisory-ingest handler
+	// before the bulletin text is parsed, keyed by ingest sequence number.
+	PointServeParse Point = "serve-parse"
+	// PointServeSwap fires between a successful advisory parse and the
+	// snapshot rebuild/publish, keyed by the generation being built.
+	PointServeSwap Point = "serve-swap"
+	// PointServeRoute fires on the serving daemon's route hot path after a
+	// cache miss, keyed by request sequence number.
+	PointServeRoute Point = "serve-route"
 )
 
 // Mode is the kind of fault to inject.

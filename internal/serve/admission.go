@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// admit wraps a compute handler with the admission-control policy:
+//
+//   - At most cfg.MaxInFlight requests execute concurrently.
+//   - A request that cannot get a slot immediately waits up to
+//     cfg.QueueTimeout, then is rejected with 429 Too Many Requests and a
+//     Retry-After hint — the server sheds overload instead of building an
+//     unbounded queue whose every entry times out anyway.
+//   - Admitted requests run with a context deadline of cfg.RequestTimeout;
+//     handlers check the deadline before starting expensive work.
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	retryAfter := strconv.Itoa(int((s.cfg.QueueTimeout + 999*time.Millisecond) / time.Second))
+	if retryAfter == "0" {
+		retryAfter = "1"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			// Fast path: a slot was free.
+		default:
+			timer := time.NewTimer(s.cfg.QueueTimeout)
+			select {
+			case s.sem <- struct{}{}:
+				timer.Stop()
+			case <-timer.C:
+				s.tel.rejected.Inc()
+				w.Header().Set("Retry-After", retryAfter)
+				s.writeError(w, http.StatusTooManyRequests, "server at capacity; retry later")
+				return
+			case <-r.Context().Done():
+				timer.Stop()
+				s.writeError(w, statusClientClosed, "client gave up while queued")
+				return
+			}
+		}
+		s.tel.inflight.Add(1)
+		defer func() {
+			s.tel.inflight.Add(-1)
+			<-s.sem
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	}
+}
+
+// statusClientClosed is nginx's conventional "client closed request" code;
+// the stdlib has no name for it.
+const statusClientClosed = 499
+
+// deadlineExceeded reports whether the request's context is already done,
+// writing the 503 for the caller when it is. Handlers call this before
+// starting engine work so a request that burned its whole deadline in the
+// admission queue fails fast instead of computing a result nobody reads.
+func (s *Server) deadlineExceeded(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusServiceUnavailable, "request deadline exceeded")
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admissionServer builds a bare Server with only the admission machinery
+// wired (no world, no warmup): admit touches nothing but cfg, sem, and the
+// nil-safe metric handles, so the policy is testable in microseconds.
+func admissionServer(maxInFlight int, queueTimeout time.Duration) *Server {
+	return &Server{
+		cfg: Config{
+			MaxInFlight:    maxInFlight,
+			QueueTimeout:   queueTimeout,
+			RequestTimeout: time.Second,
+		},
+		sem: make(chan struct{}, maxInFlight),
+	}
+}
+
+func TestAdmissionRejectsWhenSaturated(t *testing.T) {
+	s := admissionServer(1, 20*time.Millisecond)
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	h := s.admit(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release // returns immediately once closed
+		w.WriteHeader(http.StatusOK)
+	})
+
+	// First request occupies the only slot.
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+		firstDone <- rec
+	}()
+	<-entered
+
+	// Second request queues, times out, and is shed with 429 + Retry-After.
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Fatalf("rejected after %v, before the queue timeout", waited)
+	}
+
+	close(release)
+	if rec := <-firstDone; rec.Code != http.StatusOK {
+		t.Fatalf("slot-holding request: %d", rec.Code)
+	}
+
+	// Slot free again: the next request is admitted immediately.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release request: %d, want 200", rec.Code)
+	}
+}
+
+func TestAdmissionClientGivesUpWhileQueued(t *testing.T) {
+	s := admissionServer(1, time.Minute) // queue timeout far away
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := s.admit(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/route", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	h(rec, req)
+	if rec.Code != statusClientClosed {
+		t.Fatalf("cancelled-while-queued request: %d, want %d", rec.Code, statusClientClosed)
+	}
+	close(release) // let the slot holder finish
+	wg.Wait()
+}
+
+func TestAdmissionAppliesRequestDeadline(t *testing.T) {
+	s := admissionServer(1, 20*time.Millisecond)
+	s.cfg.RequestTimeout = 30 * time.Millisecond
+	var deadlineSet bool
+	h := s.admit(func(w http.ResponseWriter, r *http.Request) {
+		_, deadlineSet = r.Context().Deadline()
+		w.WriteHeader(http.StatusOK)
+	})
+	h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+	if !deadlineSet {
+		t.Fatal("admitted request ran without a context deadline")
+	}
+
+	// deadlineExceeded fails fast once the context is burned.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/v1/route", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	if !s.deadlineExceeded(rec, req) {
+		t.Fatal("deadlineExceeded false for a done context")
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline response: %d, want 503", rec.Code)
+	}
+}
+
+// TestOverloadEndToEnd drives the real route handler into saturation:
+// with one slot and a long-running occupant, concurrent real requests must
+// split into 200s and 429s with nothing hung or dropped.
+func TestOverloadEndToEnd(t *testing.T) {
+	s := testServer(t)
+	// Temporarily shrink the semaphore: swap in a 1-slot channel.
+	oldSem, oldCfg := s.sem, s.cfg
+	s.sem = make(chan struct{}, 1)
+	s.cfg.MaxInFlight = 1
+	s.cfg.QueueTimeout = 5 * time.Millisecond
+	mux := s.routes() // rebuild: admit captured the old config's Retry-After
+	defer func() { s.sem, s.cfg = oldSem, oldCfg }()
+
+	s.sem <- struct{}{} // occupy the only slot
+	net := s.bases[0].net
+	path := routeURL(net.PoPs[0].Name, net.PoPs[1].Name)
+
+	const n = 8
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+			codes <- rec.Code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	rejected := 0
+	for code := range codes {
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("request under full saturation: %d, want 429", code)
+		}
+		rejected++
+	}
+	if rejected != n {
+		t.Fatalf("%d rejections, want %d", rejected, n)
+	}
+
+	<-s.sem // release; requests flow again
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-saturation request: %d, want 200", rec.Code)
+	}
+}

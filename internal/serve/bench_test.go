@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeRouteCold measures the full serving hot path on a cache
+// miss: mux dispatch, admission, snapshot load, a pair query on the shared
+// prebuilt engine, and JSON encoding. The cache is cleared every iteration.
+func BenchmarkServeRouteCold(b *testing.B) {
+	s := testServer(b)
+	net := s.bases[0].net
+	path := routeURL(net.PoPs[0].Name, net.PoPs[len(net.PoPs)-1].Name)
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Reset()
+		rec := httptest.NewRecorder()
+		s.mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+}
+
+// BenchmarkServeRouteCached measures the same path on a warm cache: the
+// engine query is replaced by an LRU lookup, leaving dispatch, admission,
+// and encoding.
+func BenchmarkServeRouteCached(b *testing.B) {
+	s := testServer(b)
+	net := s.bases[0].net
+	path := routeURL(net.PoPs[0].Name, net.PoPs[len(net.PoPs)-1].Name)
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, req) // warm the entry
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm request: %d", rec.Code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"riskroute/internal/forecast"
+	"riskroute/internal/obs"
+	"riskroute/internal/resilience"
+	"riskroute/internal/risk"
+)
+
+// routes builds the HTTP surface. Compute endpoints (route, ratio) sit
+// behind the admission-control semaphore; cheap lookups and the health
+// probes do not, so overload never blinds the probes.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("/v1/pops", s.instrument("pops", s.handlePoPs))
+	mux.HandleFunc("/v1/risk", s.instrument("risk", s.handleRisk))
+	mux.HandleFunc("/v1/route", s.instrument("route", s.admit(s.handleRoute)))
+	mux.HandleFunc("/v1/ratio", s.instrument("ratio", s.admit(s.handleRatio)))
+	mux.HandleFunc("/v1/advisory", s.instrument("advisory", s.handleAdvisory))
+	return mux
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with its per-endpoint request counter and
+// latency histogram (serve.requests_total.<name>, serve.request_seconds.<name>).
+func (s *Server) instrument(name string, next http.HandlerFunc) http.HandlerFunc {
+	var requests *obs.Counter
+	var seconds *obs.Histogram
+	if s.cfg.Metrics != nil {
+		requests = s.cfg.Metrics.Counter("serve.requests_total." + name)
+		seconds = s.cfg.Metrics.Histogram("serve.request_seconds."+name, obs.LatencyBuckets())
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next(sw, r)
+		requests.Inc()
+		seconds.Observe(time.Since(start).Seconds())
+		if sw.status >= 400 && sw.status != http.StatusTooManyRequests {
+			s.tel.errors.Inc()
+		}
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case !s.ready.Load():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "generation": s.Generation(),
+		})
+	}
+}
+
+// lookupNet resolves the ?network= parameter against a snapshot, writing
+// the error response on failure.
+func (s *Server) lookupNet(w http.ResponseWriter, r *http.Request, snap *snapshot) *netState {
+	name := r.URL.Query().Get("network")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, "missing network parameter")
+		return nil
+	}
+	st, ok := snap.byName[name]
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown network %q (GET /v1/pops lists the corpus)", name)
+		return nil
+	}
+	return st
+}
+
+// lookupParams resolves the optional lambda_h / lambda_f query parameters
+// against the server defaults.
+func (s *Server) lookupParams(w http.ResponseWriter, r *http.Request) (risk.Params, bool) {
+	p := s.cfg.Params
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{{"lambda_h", &p.LambdaH}, {"lambda_f", &p.LambdaF}} {
+		raw := r.URL.Query().Get(f.name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			s.writeError(w, http.StatusBadRequest, "bad %s %q (want a non-negative number)", f.name, raw)
+			return p, false
+		}
+		*f.dst = v
+	}
+	return p, true
+}
+
+// pathLeg is one priced path in a route response.
+type pathLeg struct {
+	Path         []string `json:"path"`
+	Miles        float64  `json:"miles"`
+	BitRiskMiles float64  `json:"bit_risk_miles"`
+}
+
+// routeResponse answers /v1/route. Costs are byte-identical to the batch
+// `riskroute route` CLI for the same network, pair, parameters, and
+// generation inputs.
+type routeResponse struct {
+	Generation       uint64  `json:"generation"`
+	Network          string  `json:"network"`
+	From             string  `json:"from"`
+	To               string  `json:"to"`
+	LambdaH          float64 `json:"lambda_h"`
+	LambdaF          float64 `json:"lambda_f"`
+	Storm            string  `json:"storm,omitempty"`
+	Advisory         int     `json:"advisory,omitempty"`
+	Shortest         pathLeg `json:"shortest"`
+	RiskRoute        pathLeg `json:"riskroute"`
+	RiskReduction    float64 `json:"risk_reduction"`
+	DistanceIncrease float64 `json:"distance_increase"`
+	Cached           bool    `json:"cached"`
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if s.deadlineExceeded(w, r) {
+		return
+	}
+	snap := s.snap.Load()
+	st := s.lookupNet(w, r, snap)
+	if st == nil {
+		return
+	}
+	q := r.URL.Query()
+	from, to := q.Get("from"), q.Get("to")
+	src, dst := st.net.PoPIndex(from), st.net.PoPIndex(to)
+	if src < 0 || dst < 0 {
+		s.writeError(w, http.StatusNotFound, "PoP not found in %s (%q=%d, %q=%d)",
+			st.net.Name, from, src, to, dst)
+		return
+	}
+	params, ok := s.lookupParams(w, r)
+	if !ok {
+		return
+	}
+
+	key := cacheKey{gen: snap.gen, kind: kindRoute, network: st.net.Name,
+		src: src, dst: dst, lambdaH: params.LambdaH, lambdaF: params.LambdaF}
+	if v, ok := s.cache.Get(key); ok {
+		s.tel.cacheHits.Inc()
+		resp := *v.(*routeResponse)
+		resp.Cached = true
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.tel.cacheMisses.Inc()
+	if err := s.cfg.Injector.Fail(resilience.PointServeRoute, s.routeSeq.Add(1)); err != nil {
+		s.cfg.Health.Degrade("serve", err, "route %s %s->%s failed", st.net.Name, from, to)
+		s.writeError(w, http.StatusInternalServerError, "route computation failed: %v", err)
+		return
+	}
+
+	eng, err := s.engineAt(st, params)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "engine build failed: %v", err)
+		return
+	}
+	rr := eng.RiskRoutePair(src, dst)
+	sp := eng.ShortestPair(src, dst)
+	if rr.Path == nil || sp.Path == nil {
+		s.writeError(w, http.StatusUnprocessableEntity,
+			"no route between %s and %s (disconnected topology)", from, to)
+		return
+	}
+	resp := &routeResponse{
+		Generation: snap.gen,
+		Network:    st.net.Name,
+		From:       from,
+		To:         to,
+		LambdaH:    params.LambdaH,
+		LambdaF:    params.LambdaF,
+		Shortest:   pathLeg{Path: s.popNames(st, sp.Path), Miles: sp.Miles, BitRiskMiles: sp.BitRiskMiles},
+		RiskRoute:  pathLeg{Path: s.popNames(st, rr.Path), Miles: rr.Miles, BitRiskMiles: rr.BitRiskMiles},
+	}
+	if snap.advisory != nil {
+		resp.Storm = snap.advisory.Storm
+		resp.Advisory = snap.advisory.Number
+	}
+	if sp.BitRiskMiles > 0 {
+		resp.RiskReduction = 1 - rr.BitRiskMiles/sp.BitRiskMiles
+	}
+	if sp.Miles > 0 {
+		resp.DistanceIncrease = rr.Miles/sp.Miles - 1
+	}
+	s.cache.Put(key, resp)
+	s.writeJSON(w, http.StatusOK, *resp)
+}
+
+func (s *Server) popNames(st *netState, path []int) []string {
+	names := make([]string, len(path))
+	for i, v := range path {
+		names[i] = st.net.PoPs[v].Name
+	}
+	return names
+}
+
+// ratioResponse answers /v1/ratio.
+type ratioResponse struct {
+	Generation       uint64  `json:"generation"`
+	Network          string  `json:"network"`
+	LambdaH          float64 `json:"lambda_h"`
+	LambdaF          float64 `json:"lambda_f"`
+	Pairs            int     `json:"pairs"`
+	RiskReduction    float64 `json:"risk_reduction"`
+	DistanceIncrease float64 `json:"distance_increase"`
+	Cached           bool    `json:"cached"`
+}
+
+func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
+	if s.deadlineExceeded(w, r) {
+		return
+	}
+	snap := s.snap.Load()
+	st := s.lookupNet(w, r, snap)
+	if st == nil {
+		return
+	}
+	params, ok := s.lookupParams(w, r)
+	if !ok {
+		return
+	}
+
+	key := cacheKey{gen: snap.gen, kind: kindRatio, network: st.net.Name,
+		src: -1, dst: -1, lambdaH: params.LambdaH, lambdaF: params.LambdaF}
+	if v, ok := s.cache.Get(key); ok {
+		s.tel.cacheHits.Inc()
+		resp := *v.(*ratioResponse)
+		resp.Cached = true
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.tel.cacheMisses.Inc()
+
+	eng, err := s.engineAt(st, params)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "engine build failed: %v", err)
+		return
+	}
+	ratios := eng.Evaluate()
+	resp := &ratioResponse{
+		Generation:       snap.gen,
+		Network:          st.net.Name,
+		LambdaH:          params.LambdaH,
+		LambdaF:          params.LambdaF,
+		Pairs:            ratios.Pairs,
+		RiskReduction:    ratios.RiskReduction,
+		DistanceIncrease: ratios.DistanceIncrease,
+	}
+	s.cache.Put(key, resp)
+	s.writeJSON(w, http.StatusOK, *resp)
+}
+
+func (s *Server) handlePoPs(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	name := r.URL.Query().Get("network")
+	if name == "" {
+		type netInfo struct {
+			Name  string `json:"name"`
+			Tier  string `json:"tier"`
+			PoPs  int    `json:"pops"`
+			Links int    `json:"links"`
+		}
+		nets := make([]netInfo, len(snap.states))
+		for i, st := range snap.states {
+			nets[i] = netInfo{Name: st.net.Name, Tier: st.net.Tier.String(),
+				PoPs: len(st.net.PoPs), Links: len(st.net.Links)}
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"generation": snap.gen, "networks": nets,
+		})
+		return
+	}
+	st, ok := snap.byName[name]
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+	type popInfo struct {
+		Name     string  `json:"name"`
+		Lat      float64 `json:"lat"`
+		Lon      float64 `json:"lon"`
+		Fraction float64 `json:"fraction"`
+	}
+	pops := make([]popInfo, len(st.net.PoPs))
+	for i, p := range st.net.PoPs {
+		pops[i] = popInfo{Name: p.Name, Lat: p.Location.Lat, Lon: p.Location.Lon,
+			Fraction: st.fractions[i]}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"generation": snap.gen, "network": st.net.Name, "pops": pops,
+	})
+}
+
+func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	st := s.lookupNet(w, r, snap)
+	if st == nil {
+		return
+	}
+	params, ok := s.lookupParams(w, r)
+	if !ok {
+		return
+	}
+	type popRisk struct {
+		Name     string  `json:"name"`
+		Hist     float64 `json:"hist"`
+		Forecast float64 `json:"forecast"`
+		NodeRisk float64 `json:"node_risk"`
+	}
+	pops := make([]popRisk, len(st.net.PoPs))
+	for i, p := range st.net.PoPs {
+		pr := popRisk{Name: p.Name, Hist: st.hist[i]}
+		if st.forecast != nil {
+			pr.Forecast = st.forecast[i]
+		}
+		pr.NodeRisk = params.LambdaH*pr.Hist + params.LambdaF*pr.Forecast
+		pops[i] = pr
+	}
+	resp := map[string]any{
+		"generation": snap.gen, "network": st.net.Name,
+		"lambda_h": params.LambdaH, "lambda_f": params.LambdaF,
+		"pops": pops,
+	}
+	if snap.advisory != nil {
+		resp["storm"] = snap.advisory.Storm
+		resp["advisory"] = snap.advisory.Number
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// advisoryInfo is the JSON shape of an applied advisory.
+type advisoryInfo struct {
+	Generation        uint64  `json:"generation"`
+	Storm             string  `json:"storm"`
+	Advisory          int     `json:"advisory"`
+	Classification    string  `json:"classification"`
+	CenterLat         float64 `json:"center_lat"`
+	CenterLon         float64 `json:"center_lon"`
+	MaxWindMPH        float64 `json:"max_wind_mph"`
+	HurricaneRadiusMi float64 `json:"hurricane_radius_mi"`
+	TropicalRadiusMi  float64 `json:"tropical_radius_mi"`
+}
+
+// maxAdvisoryBytes bounds an ingested bulletin. Real NHC advisories are a
+// few KB; anything near the limit is hostile or corrupt.
+const maxAdvisoryBytes = 1 << 20
+
+func (s *Server) handleAdvisory(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		snap := s.snap.Load()
+		if snap.advisory == nil {
+			s.writeJSON(w, http.StatusOK, map[string]any{
+				"generation": snap.gen, "advisory": nil,
+			})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, advisoryInfoOf(snap.gen, snap.advisory))
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAdvisoryBytes))
+		if err != nil {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "advisory body too large or unreadable: %v", err)
+			return
+		}
+		adv, gen, err := s.ApplyAdvisory(string(body))
+		switch {
+		case err == nil:
+			s.writeJSON(w, http.StatusOK, advisoryInfoOf(gen, adv))
+		case errors.Is(err, resilience.ErrInjected):
+			s.writeError(w, http.StatusServiceUnavailable, "advisory ingest failed: %v", err)
+		default:
+			s.writeError(w, http.StatusBadRequest, "advisory rejected: %v", err)
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func advisoryInfoOf(gen uint64, a *forecast.Advisory) advisoryInfo {
+	return advisoryInfo{
+		Generation:        gen,
+		Storm:             a.Storm,
+		Advisory:          a.Number,
+		Classification:    a.Classification(),
+		CenterLat:         a.Center.Lat,
+		CenterLon:         a.Center.Lon,
+		MaxWindMPH:        a.MaxWindMPH,
+		HurricaneRadiusMi: a.HurricaneRadiusMi,
+		TropicalRadiusMi:  a.TropicalRadiusMi,
+	}
+}

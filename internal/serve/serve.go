@@ -1,0 +1,441 @@
+// Package serve turns the batch RiskRoute pipeline into a long-lived
+// online service. A Server fits the hazard surfaces and population
+// assignment once at startup, builds one routing engine per network, and
+// publishes the whole read-only world as an immutable *snapshot* behind an
+// atomic pointer. Request handlers load the pointer once and answer from
+// that snapshot; they never block on writers and never observe a
+// half-updated world.
+//
+// # Snapshot lifecycle and generations
+//
+// Every snapshot carries a monotonic generation number. Generation 1 is the
+// startup world (historical risk only, no forecast layer). POST /v1/advisory
+// parses an NHC bulletin with the existing forecast NLP parser, rebuilds
+// only the forecast risk layer (the hazard model, census assignment, and
+// per-PoP historical risks are reused), constructs fresh engines, and
+// publishes generation g+1. Swaps are serialized by a mutex; readers are
+// never blocked — an in-flight request finishes on the snapshot it loaded,
+// and its response reports that snapshot's generation.
+//
+// # Admission control and the result cache
+//
+// The compute endpoints (/v1/route, /v1/ratio) pass through a
+// bounded-concurrency semaphore: when MaxInFlight requests are already
+// executing, a newcomer waits at most QueueTimeout and is then rejected
+// with 429 and a Retry-After header, so overload sheds load instead of
+// queueing unboundedly. Admitted requests run under a per-request
+// context deadline. Route and ratio results land in an LRU cache keyed by
+// (generation, network, query): because the generation is part of the key,
+// a snapshot swap implicitly invalidates every cached result, and in-flight
+// requests on the old snapshot cannot poison the new generation.
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"riskroute/internal/core"
+	"riskroute/internal/datasets"
+	"riskroute/internal/forecast"
+	"riskroute/internal/hazard"
+	"riskroute/internal/obs"
+	"riskroute/internal/parallel"
+	"riskroute/internal/population"
+	"riskroute/internal/resilience"
+	"riskroute/internal/risk"
+	"riskroute/internal/topology"
+)
+
+// Config tunes the serving daemon. The synthetic-world knobs default to the
+// batch CLI's defaults, so a generation's route costs are byte-identical to
+// `riskroute route` run with the same inputs.
+type Config struct {
+	// Networks is the serving corpus; nil means the embedded 23 networks.
+	Networks []*topology.Network
+	// Blocks is the synthetic census size (default 20000, the CLI default).
+	Blocks int
+	// EventScale scales the disaster catalogs (default 0.2, the CLI default).
+	EventScale float64
+	// Seed is the synthetic-world seed (default 1, the CLI default).
+	Seed uint64
+	// Params are the default tuning parameters for requests that do not set
+	// lambda_h/lambda_f; zero means the paper's λ_h = 10⁵, λ_f = 10³.
+	Params risk.Params
+	// Workers bounds the goroutines of warmup, snapshot rebuilds, and
+	// engine sweeps (0 = GOMAXPROCS).
+	Workers int
+
+	// MaxInFlight bounds concurrently executing compute requests
+	// (default 64). QueueTimeout is how long an over-limit request may wait
+	// for a slot before being rejected with 429 (default 100ms).
+	// RequestTimeout is the per-request context deadline (default 15s).
+	MaxInFlight    int
+	QueueTimeout   time.Duration
+	RequestTimeout time.Duration
+	// CacheSize is the result cache's entry capacity (default 4096;
+	// negative disables caching).
+	CacheSize int
+
+	// Observability and fault injection (all optional, nil-safe).
+	Metrics  *obs.Registry
+	Trace    *obs.Span
+	Logger   *slog.Logger
+	Health   *resilience.Health
+	Injector *resilience.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Networks == nil {
+		c.Networks = datasets.BuildNetworks()
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 20000
+	}
+	if c.EventScale == 0 {
+		c.EventScale = 0.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Params == (risk.Params{}) {
+		c.Params = risk.PaperParams()
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// syntheticSources builds the five synthetic disaster catalogs with the
+// paper's Table 1 bandwidths preassigned — the same construction as the
+// facade's SyntheticHazardSources (which the serve package cannot import
+// without a cycle), so daemon risk surfaces match the batch CLI's exactly.
+func syntheticSources(scale float64, seed uint64) []hazard.Source {
+	if scale <= 0 {
+		scale = 1
+	}
+	var out []hazard.Source
+	for _, et := range datasets.EventTypes {
+		count := int(float64(et.PaperCount()) * scale)
+		if count < 50 {
+			count = 50
+		}
+		out = append(out, hazard.Source{
+			Name:      et.String(),
+			Events:    datasets.GenerateEvents(et, count, seed),
+			Bandwidth: et.PaperBandwidth(),
+		})
+	}
+	return out
+}
+
+// netBase is the per-network state that survives snapshot swaps: topology,
+// census fractions, and historical risk never change while the daemon runs.
+type netBase struct {
+	net       *topology.Network
+	hist      []float64
+	fractions []float64
+}
+
+// netState is one network's routable state inside a snapshot. The engine is
+// prebuilt (core.Engine.Prebuild), so request goroutines share it without
+// locks.
+type netState struct {
+	*netBase
+	forecast []float64 // nil when the snapshot has no active advisory
+	engine   *core.Engine
+}
+
+// snapshot is one immutable published world. Readers load it once per
+// request and keep every answer internally consistent with it.
+type snapshot struct {
+	gen      uint64
+	advisory *forecast.Advisory // nil for the startup generation
+	states   []*netState
+	byName   map[string]*netState
+}
+
+// serveObs caches the server's metric handles (nil registry = no-ops).
+type serveObs struct {
+	rejected    *obs.Counter   // serve.rejected_total (429s)
+	errors      *obs.Counter   // serve.errors_total (4xx/5xx except 429)
+	inflight    *obs.Gauge     // serve.inflight
+	cacheHits   *obs.Counter   // serve.cache.hits_total
+	cacheMisses *obs.Counter   // serve.cache.misses_total
+	swaps       *obs.Counter   // serve.swaps_total
+	swapSeconds *obs.Histogram // serve.swap_seconds
+	generation  *obs.Gauge     // serve.generation
+}
+
+func newServeObs(r *obs.Registry) serveObs {
+	if r == nil {
+		return serveObs{}
+	}
+	return serveObs{
+		rejected:    r.Counter("serve.rejected_total"),
+		errors:      r.Counter("serve.errors_total"),
+		inflight:    r.Gauge("serve.inflight"),
+		cacheHits:   r.Counter("serve.cache.hits_total"),
+		cacheMisses: r.Counter("serve.cache.misses_total"),
+		swaps:       r.Counter("serve.swaps_total"),
+		swapSeconds: r.Histogram("serve.swap_seconds", obs.LatencyBuckets()),
+		generation:  r.Gauge("serve.generation"),
+	}
+}
+
+// Server is the online RiskRoute daemon: a warm hazard/population world,
+// the current engine snapshot, and the HTTP surface over both.
+type Server struct {
+	cfg   Config
+	tel   serveObs
+	lg    *slog.Logger
+	model *hazard.Model
+	rm    forecast.RiskModel
+	bases []*netBase
+
+	snap     atomic.Pointer[snapshot]
+	swapMu   sync.Mutex // serializes advisory ingestion; readers never take it
+	ingestSeq atomic.Uint64
+	routeSeq  atomic.Uint64
+
+	sem      chan struct{}
+	cache    *lru
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	mux *http.ServeMux
+}
+
+// New builds the serving world: it fits the hazard surfaces, generates the
+// census, assigns population to every network (fanned over
+// internal/parallel), builds and prebuilds one engine per network, and
+// publishes generation 1. The warmup is traced under cfg.Trace as
+// "serve-warmup" with one child span per stage.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Networks) == 0 {
+		return nil, fmt.Errorf("serve: no networks to serve")
+	}
+	s := &Server{
+		cfg: cfg,
+		tel: newServeObs(cfg.Metrics),
+		lg:  obs.LoggerOrNop(cfg.Logger),
+		rm:  forecast.DefaultRiskModel(),
+	}
+
+	warm := cfg.Trace.Child("serve-warmup")
+	defer warm.End()
+
+	fit := warm.Child("hazard-fit")
+	model, err := hazard.Fit(syntheticSources(cfg.EventScale, cfg.Seed),
+		hazard.FitConfig{Workers: cfg.Workers, Metrics: cfg.Metrics,
+			Trace: fit, Health: cfg.Health, Logger: cfg.Logger})
+	fit.End()
+	if err != nil {
+		return nil, fmt.Errorf("serve: hazard fit: %w", err)
+	}
+	s.model = model
+	census := datasets.GenerateCensus(datasets.CensusConfig{Blocks: cfg.Blocks, Seed: cfg.Seed})
+
+	// Per-network census assignment and historical risks, one slot per
+	// network. Each slot's inner stages run sequentially (workers=1): the
+	// fan-out across networks is the parallelism, and assignments are
+	// bit-identical at any worker split anyway.
+	assign := warm.Child("population-assign")
+	type baseOrErr struct {
+		base *netBase
+		err  error
+	}
+	slots := parallel.Map(len(cfg.Networks), cfg.Workers, func(i int) baseOrErr {
+		net := cfg.Networks[i]
+		asg, err := population.AssignWorkers(census, net, 1)
+		if err != nil {
+			return baseOrErr{err: fmt.Errorf("serve: assigning %q: %w", net.Name, err)}
+		}
+		return baseOrErr{base: &netBase{
+			net:       net,
+			hist:      model.PoPRisks(net),
+			fractions: asg.Fractions,
+		}}
+	})
+	assign.End()
+	s.bases = make([]*netBase, len(slots))
+	for i, sl := range slots {
+		if sl.err != nil {
+			return nil, sl.err
+		}
+		s.bases[i] = sl.base
+	}
+
+	build := warm.Child("engine-build")
+	snap, err := s.buildSnapshot(1, nil, build)
+	build.End()
+	if err != nil {
+		return nil, err
+	}
+	s.snap.Store(snap)
+	s.tel.generation.Set(1)
+
+	s.sem = make(chan struct{}, cfg.MaxInFlight)
+	s.cache = newLRU(cfg.CacheSize)
+	s.mux = s.routes()
+	s.ready.Store(true)
+	cfg.Health.Record("serve", "warmup complete: %d networks at generation 1", len(s.bases))
+	s.lg.Info("serve warmup complete", "networks", len(s.bases),
+		"blocks", cfg.Blocks, "event_scale", cfg.EventScale,
+		"seconds", warm.Duration().Seconds())
+	return s, nil
+}
+
+// buildSnapshot constructs the immutable world for one generation: the
+// forecast layer for adv (nil for none) and a fresh prebuilt engine per
+// network, fanned over internal/parallel.
+func (s *Server) buildSnapshot(gen uint64, adv *forecast.Advisory, span *obs.Span) (*snapshot, error) {
+	type stateOrErr struct {
+		st  *netState
+		err error
+	}
+	slots := parallel.Map(len(s.bases), s.cfg.Workers, func(i int) stateOrErr {
+		base := s.bases[i]
+		var fc []float64
+		if adv != nil {
+			fc = s.rm.PoPRisks(adv, base.net)
+		}
+		ctx := &risk.Context{
+			Net:       base.net,
+			Hist:      base.hist,
+			Forecast:  fc,
+			Fractions: base.fractions,
+			Params:    s.cfg.Params,
+		}
+		// Engine sweeps (Evaluate) run single-request parallel already; the
+		// snapshot engines take the configured worker bound. Build-time
+		// telemetry flows to the registry; per-engine spans/logs are left
+		// out so a swap stays one record, not twenty-three.
+		eng, err := core.New(ctx, core.Options{
+			Workers: s.cfg.Workers,
+			Metrics: s.cfg.Metrics,
+			Health:  s.cfg.Health,
+			Trace:   span,
+		})
+		if err != nil {
+			return stateOrErr{err: fmt.Errorf("serve: engine for %q: %w", base.net.Name, err)}
+		}
+		eng.Prebuild()
+		return stateOrErr{st: &netState{netBase: base, forecast: fc, engine: eng}}
+	})
+	snap := &snapshot{
+		gen:      gen,
+		advisory: adv,
+		states:   make([]*netState, len(slots)),
+		byName:   make(map[string]*netState, len(slots)),
+	}
+	for i, sl := range slots {
+		if sl.err != nil {
+			return nil, sl.err
+		}
+		snap.states[i] = sl.st
+		snap.byName[sl.st.net.Name] = sl.st
+	}
+	return snap, nil
+}
+
+// ApplyAdvisory parses NHC bulletin text, rebuilds the forecast risk layer,
+// and publishes the next generation. It returns the parsed advisory and the
+// generation now serving. Parse failures leave the current snapshot
+// untouched. Concurrent calls serialize; readers are never blocked.
+func (s *Server) ApplyAdvisory(text string) (*forecast.Advisory, uint64, error) {
+	seq := s.ingestSeq.Add(1)
+	if err := s.cfg.Injector.ForcedError(resilience.PointServeParse, seq); err != nil {
+		return nil, s.Generation(), err
+	}
+	adv, err := forecast.ParseAdvisory(text)
+	if err != nil {
+		s.cfg.Health.Degrade("serve", err, "advisory ingest %d rejected", seq)
+		return nil, s.Generation(), err
+	}
+
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.snap.Load()
+	gen := cur.gen + 1
+	if err := s.cfg.Injector.ForcedError(resilience.PointServeSwap, gen); err != nil {
+		s.cfg.Health.Degrade("serve", err, "swap to generation %d aborted", gen)
+		return nil, cur.gen, err
+	}
+	span := s.cfg.Trace.Child("advisory-swap")
+	next, err := s.buildSnapshot(gen, adv, span)
+	if err != nil {
+		span.End()
+		s.cfg.Health.Degrade("serve", err, "swap to generation %d failed", gen)
+		return nil, cur.gen, err
+	}
+	s.snap.Store(next)
+	// Old-generation entries can never hit again (the generation is part of
+	// every cache key); reset eagerly so their memory is reclaimed now
+	// rather than by LRU pressure.
+	s.cache.Reset()
+	s.tel.swaps.Inc()
+	s.tel.generation.Set(float64(gen))
+	span.SetAttr("generation", gen)
+	span.SetAttr("storm", adv.Storm)
+	span.SetAttr("advisory", adv.Number)
+	swapSeconds := span.End().Seconds()
+	s.tel.swapSeconds.Observe(swapSeconds)
+	s.cfg.Health.Record("serve", "generation %d: %s advisory %d applied", gen, adv.Storm, adv.Number)
+	s.lg.Info("advisory swap", "generation", gen, "storm", adv.Storm,
+		"advisory", adv.Number, "seconds", swapSeconds)
+	return adv, gen, nil
+}
+
+// Generation returns the currently served snapshot's generation.
+func (s *Server) Generation() uint64 { return s.snap.Load().gen }
+
+// Ready reports whether the server is warmed up and not draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Drain marks the server as shutting down: /v1/readyz starts answering 503
+// so load balancers stop sending new work, while in-flight requests finish
+// normally (http.Server.Shutdown handles the connection-level drain).
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.lg.Info("serve draining")
+	}
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats returns the result cache's lifetime hit/miss counters.
+func (s *Server) CacheStats() (hits, misses uint64) { return s.cache.Stats() }
+
+// engineAt returns the engine answering queries for st at the given
+// parameters: the snapshot's shared prebuilt engine when the parameters
+// match the server defaults, otherwise a request-scoped engine over the
+// same immutable risk layers (identical numerics, no shared mutation).
+func (s *Server) engineAt(st *netState, p risk.Params) (*core.Engine, error) {
+	if p == s.cfg.Params {
+		return st.engine, nil
+	}
+	ctx := &risk.Context{
+		Net:       st.net,
+		Hist:      st.hist,
+		Forecast:  st.forecast,
+		Fractions: st.fractions,
+		Params:    p,
+	}
+	return core.New(ctx, core.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
+}

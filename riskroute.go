@@ -46,6 +46,7 @@ import (
 	"riskroute/internal/population"
 	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
+	"riskroute/internal/serve"
 	"riskroute/internal/topology"
 )
 
@@ -434,6 +435,9 @@ const (
 	InjectKDEFit        = resilience.PointKDEFit
 	InjectEngineBuild   = resilience.PointEngineBuild
 	InjectDijkstraSweep = resilience.PointDijkstraSweep
+	InjectServeParse    = resilience.PointServeParse
+	InjectServeSwap     = resilience.PointServeSwap
+	InjectServeRoute    = resilience.PointServeRoute
 )
 
 // Fault modes.
@@ -601,6 +605,23 @@ func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
 
 // SizeBuckets returns the default size/count histogram bounds.
 func SizeBuckets() []float64 { return obs.SizeBuckets() }
+
+// Online serving: the long-lived daemon behind cmd/riskrouted (see
+// DESIGN.md, "Serving architecture"). A Server warms the hazard and
+// population world once, then answers route/ratio/risk queries from an
+// immutable engine snapshot and hot-swaps that snapshot — atomically, with
+// a monotonic generation counter — as NHC advisories are ingested.
+type (
+	// ServeConfig tunes the serving daemon (synthetic-world knobs default
+	// to the batch CLI's, so served costs match `riskroute route` exactly).
+	ServeConfig = serve.Config
+	// Server is the online RiskRoute daemon.
+	Server = serve.Server
+)
+
+// NewServer warms the serving world and publishes generation 1. The
+// returned server's Handler is ready to mount on any net/http listener.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // Experiments (paper reproduction harness).
 type (

@@ -1,0 +1,146 @@
+package riskroute_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"riskroute"
+)
+
+// TestServerMatchesBatchEngine is the serving acceptance gate: for the same
+// synthetic-world inputs, the daemon must serve byte-identical costs to the
+// batch pipeline the `riskroute route` CLI runs — at the startup generation
+// and again after an advisory hot-swap. The two worlds here are built
+// through entirely separate code paths (serve's internal warmup vs the
+// public facade chain), so any drift in either replication shows up as a
+// float mismatch.
+func TestServerMatchesBatchEngine(t *testing.T) {
+	const (
+		blocks     = 4000
+		eventScale = 0.03
+		seed       = 1
+	)
+	net := riskroute.BuiltinNetwork("Sprint")
+	if net == nil {
+		t.Fatal("Sprint missing")
+	}
+	from, to := net.PoPs[0].Name, net.PoPs[len(net.PoPs)-1].Name
+
+	srv, err := riskroute.NewServer(riskroute.ServeConfig{
+		Networks:   []*riskroute.Network{net},
+		Blocks:     blocks,
+		EventScale: eventScale,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+
+	// The batch chain, exactly as the CLI's engineFor wires it.
+	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(eventScale, seed),
+		riskroute.HazardFitConfig{})
+	if err != nil {
+		t.Fatalf("FitHazard: %v", err)
+	}
+	census := riskroute.SyntheticCensus(blocks, seed)
+	asg, err := riskroute.AssignPopulation(census, net)
+	if err != nil {
+		t.Fatalf("AssignPopulation: %v", err)
+	}
+	hist := model.PoPRisks(net)
+	batchPair := func(adv *riskroute.Advisory) (rr, sp riskroute.PairResult) {
+		ctx := &riskroute.Context{
+			Net:       net,
+			Hist:      hist,
+			Fractions: asg.Fractions,
+			Params:    riskroute.PaperParams(),
+		}
+		if adv != nil {
+			rm := riskroute.DefaultForecastModel()
+			ctx.Forecast = rm.PoPRisks(adv, net)
+		}
+		eng, err := riskroute.NewEngine(ctx, riskroute.Options{})
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		src, dst := net.PoPIndex(from), net.PoPIndex(to)
+		return eng.RiskRoutePair(src, dst), eng.ShortestPair(src, dst)
+	}
+
+	type leg struct {
+		Path         []string `json:"path"`
+		Miles        float64  `json:"miles"`
+		BitRiskMiles float64  `json:"bit_risk_miles"`
+	}
+	var served struct {
+		Generation uint64 `json:"generation"`
+		Shortest   leg    `json:"shortest"`
+		RiskRoute  leg    `json:"riskroute"`
+	}
+	query := func() {
+		t.Helper()
+		v := url.Values{"network": {net.Name}, "from": {from}, "to": {to}}
+		req := httptest.NewRequest(http.MethodGet, "/v1/route?"+v.Encode(), nil)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("route: %d: %s", rec.Code, rec.Body.Bytes())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &served); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(stage string, adv *riskroute.Advisory) {
+		t.Helper()
+		rr, sp := batchPair(adv)
+		if served.RiskRoute.BitRiskMiles != rr.BitRiskMiles ||
+			served.RiskRoute.Miles != rr.Miles ||
+			served.Shortest.BitRiskMiles != sp.BitRiskMiles ||
+			served.Shortest.Miles != sp.Miles {
+			t.Fatalf("%s: served costs diverge from batch engine:\nserved rr=%v/%v sp=%v/%v\nbatch  rr=%v/%v sp=%v/%v",
+				stage,
+				served.RiskRoute.BitRiskMiles, served.RiskRoute.Miles,
+				served.Shortest.BitRiskMiles, served.Shortest.Miles,
+				rr.BitRiskMiles, rr.Miles, sp.BitRiskMiles, sp.Miles)
+		}
+		if len(served.RiskRoute.Path) != len(rr.Path) {
+			t.Fatalf("%s: path length %d != %d", stage, len(served.RiskRoute.Path), len(rr.Path))
+		}
+		for i, idx := range rr.Path {
+			if served.RiskRoute.Path[i] != net.PoPs[idx].Name {
+				t.Fatalf("%s: path hop %d: %q != %q", stage, i,
+					served.RiskRoute.Path[i], net.PoPs[idx].Name)
+			}
+		}
+	}
+
+	query()
+	if served.Generation != 1 {
+		t.Fatalf("startup generation %d, want 1", served.Generation)
+	}
+	check("generation 1 (no storm)", nil)
+
+	// Hot-swap a Sandy advisory and compare again on generation 2.
+	track := riskroute.HurricaneByName("Sandy")
+	replay, err := riskroute.LoadHurricaneReplay(track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := replay.Advisories[len(replay.Advisories)/2]
+	req := httptest.NewRequest(http.MethodPost, "/v1/advisory", strings.NewReader(adv.Text()))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST advisory: %d: %s", rec.Code, rec.Body.Bytes())
+	}
+
+	query()
+	if served.Generation != 2 {
+		t.Fatalf("post-swap generation %d, want 2", served.Generation)
+	}
+	check("generation 2 (Sandy advisory)", adv)
+}
