@@ -55,9 +55,17 @@ type options struct {
 	requestTO   time.Duration
 	drainTO     time.Duration
 	cacheSize   int
-	logMode     string
-	telemetry   string
-	runsDir     string
+
+	advisoryFeed     string
+	journalDir       string
+	pollInterval     time.Duration
+	pollTO           time.Duration
+	backoffMax       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	logMode          string
+	telemetry        string
+	runsDir          string
 
 	emitAdvisory string
 	loadgen      bool
@@ -82,6 +90,13 @@ func run(args []string) error {
 	fs.DurationVar(&o.requestTO, "request-timeout", 15*time.Second, "per-request deadline")
 	fs.DurationVar(&o.drainTO, "drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	fs.IntVar(&o.cacheSize, "cache-size", 4096, "result cache entries (negative disables)")
+	fs.StringVar(&o.advisoryFeed, "advisory-feed", "", "continuous advisory feed: a directory of *.txt bulletins or an http(s) URL (requires -journal-dir)")
+	fs.StringVar(&o.journalDir, "journal-dir", "", "advisory write-ahead journal directory; set alone to replay a journal at boot without polling")
+	fs.DurationVar(&o.pollInterval, "poll-interval", 10*time.Second, "healthy-feed poll cadence")
+	fs.DurationVar(&o.pollTO, "poll-timeout", 5*time.Second, "per-attempt feed poll deadline")
+	fs.DurationVar(&o.backoffMax, "backoff-max", 2*time.Minute, "cap on the exponential feed retry delay")
+	fs.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive feed failures that trip the circuit breaker")
+	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 30*time.Second, "how long a tripped breaker stays open before probing the feed")
 	fs.StringVar(&o.logMode, "log", "text", "structured log stream to stderr: text, json, or off")
 	fs.StringVar(&o.telemetry, "telemetry", "", "emit a metrics report to stderr on exit: text or json")
 	fs.StringVar(&o.runsDir, "runs", "", "write a run manifest for the server lifetime under dir/<runID>/")
@@ -202,6 +217,51 @@ func serveDaemon(o *options, fs *flag.FlagSet) error {
 		return err
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	// Continuous ingestion: recover the journal to the pre-crash generation
+	// BEFORE accepting traffic, then start polling the feed (if one is
+	// configured — -journal-dir alone is a recovery-only boot).
+	if o.advisoryFeed != "" && o.journalDir == "" {
+		return errors.New("-advisory-feed requires -journal-dir (the journal is what makes ingestion crash-safe)")
+	}
+	if o.journalDir != "" {
+		var src riskroute.IngestSource
+		if o.advisoryFeed != "" {
+			src, err = riskroute.NewIngestSource(o.advisoryFeed)
+			if err != nil {
+				return err
+			}
+		}
+		poller, err := riskroute.NewIngestPoller(riskroute.IngestConfig{
+			Source:           src,
+			JournalDir:       o.journalDir,
+			Interval:         o.pollInterval,
+			PollTimeout:      o.pollTO,
+			BackoffMax:       o.backoffMax,
+			BreakerThreshold: o.breakerThreshold,
+			BreakerCooldown:  o.breakerCooldown,
+			Seed:             o.seed,
+			Metrics:          reg,
+			Trace:            trace,
+			Logger:           logger,
+			Health:           health,
+		}, srv)
+		if err != nil {
+			return err
+		}
+		defer poller.Close()
+		if _, err := poller.Recover(); err != nil {
+			return err
+		}
+		srv.AttachIngest(func() any { return poller.Status() })
+		fmt.Printf("riskrouted: journal %s recovered to generation %d\n", o.journalDir, srv.Generation())
+		if src != nil {
+			go poller.Run(ctx)
+		}
+	}
+
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
@@ -214,9 +274,6 @@ func serveDaemon(o *options, fs *flag.FlagSet) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
-
 	var runErr error
 	select {
 	case err := <-serveErr:
@@ -225,12 +282,18 @@ func serveDaemon(o *options, fs *flag.FlagSet) error {
 		}
 	case <-ctx.Done():
 		// Graceful drain: flip readiness first so load balancers stop
-		// routing here, then let in-flight requests finish.
+		// routing here, then let in-flight requests finish — but never
+		// longer than -drain-timeout, so a wedged handler cannot turn
+		// SIGTERM into a hung process.
 		srv.Drain()
 		shCtx, cancel := context.WithTimeout(context.Background(), o.drainTO)
 		err := httpSrv.Shutdown(shCtx)
 		cancel()
 		if err != nil {
+			if abandoned := srv.InFlight(); abandoned > 0 {
+				logger.Warn("drain timeout expired; abandoning in-flight requests",
+					"abandoned", abandoned, "drain_timeout", o.drainTO.String())
+			}
 			runErr = fmt.Errorf("drain: %w", err)
 		}
 	}

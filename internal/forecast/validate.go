@@ -1,0 +1,59 @@
+package forecast
+
+import (
+	"riskroute/internal/resilience"
+)
+
+// Physical plausibility bounds for ValidateAdvisory. The limits sit far
+// outside every recorded Atlantic storm (Camille's 190 mph sustained winds,
+// Sandy's 1000-mile wind field) but inside what a corrupt or hostile
+// bulletin can claim, so a feed that passes the NLP parser with nonsense
+// numbers is still rejected before it reaches the journal or a swap.
+const (
+	// MaxPlausibleWindMPH caps sustained winds.
+	MaxPlausibleWindMPH = 250
+	// MaxPlausibleRadiusMi caps either wind radius.
+	MaxPlausibleRadiusMi = 1200
+	// MaxPlausibleMovementMPH caps the storm's forward speed.
+	MaxPlausibleMovementMPH = 120
+	// MaxPlausibleAdvisoryNumber caps the advisory sequence number: NHC
+	// issues advisories every six hours (plus intermediates), so even a
+	// season-long storm stays in the low hundreds.
+	MaxPlausibleAdvisoryNumber = 1000
+)
+
+// ValidateAdvisory is the ingestion pipeline's validation entry point: a
+// strict parse (ParseAdvisory) followed by semantic plausibility checks on
+// the extracted storm state. It is the gate an advisory must clear before
+// being journaled or swapped into the serving world; failures are
+// *resilience.ValidationError values, so callers can quarantine with a
+// positioned reason instead of a bare string.
+func ValidateAdvisory(text string) (*Advisory, error) {
+	a, err := ParseAdvisory(text)
+	if err != nil {
+		return nil, err
+	}
+	if a.Number < 1 || a.Number > MaxPlausibleAdvisoryNumber {
+		return nil, vErr("advisory number", "%d outside [1, %d]", a.Number, MaxPlausibleAdvisoryNumber)
+	}
+	if a.MaxWindMPH < 0 || a.MaxWindMPH > MaxPlausibleWindMPH {
+		return nil, vErr("maximum winds", "%.0f mph outside [0, %d]", a.MaxWindMPH, MaxPlausibleWindMPH)
+	}
+	if a.TropicalRadiusMi <= 0 || a.TropicalRadiusMi > MaxPlausibleRadiusMi {
+		return nil, vErr("tropical radius", "%.0f mi outside (0, %d]", a.TropicalRadiusMi, MaxPlausibleRadiusMi)
+	}
+	if a.HurricaneRadiusMi < 0 || a.HurricaneRadiusMi > MaxPlausibleRadiusMi {
+		return nil, vErr("hurricane radius", "%.0f mi outside [0, %d]", a.HurricaneRadiusMi, MaxPlausibleRadiusMi)
+	}
+	if a.MovementSpeedMPH < 0 || a.MovementSpeedMPH > MaxPlausibleMovementMPH {
+		return nil, vErr("movement speed", "%.0f mph outside [0, %d]", a.MovementSpeedMPH, MaxPlausibleMovementMPH)
+	}
+	if a.Time.IsZero() {
+		return nil, vErr("timestamp", "zero advisory time")
+	}
+	return a, nil
+}
+
+func vErr(field, format string, args ...any) *resilience.ValidationError {
+	return resilience.Validationf("advisory", 0, field, format, args...)
+}

@@ -1,0 +1,82 @@
+package forecast
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"riskroute/internal/datasets"
+	"riskroute/internal/resilience"
+)
+
+// TestValidateAcceptsEmbeddedCorpora pins that every advisory the replay
+// generator renders for the embedded storms clears the ingestion gate: the
+// plausibility bounds must never reject real storm state.
+func TestValidateAcceptsEmbeddedCorpora(t *testing.T) {
+	for _, name := range []string{"Irene", "Katrina", "Sandy"} {
+		track := datasets.HurricaneByName(name)
+		if track == nil {
+			t.Fatalf("embedded storm %q missing", name)
+		}
+		for i, text := range GenerateCorpus(track) {
+			if _, err := ValidateAdvisory(text); err != nil {
+				t.Errorf("%s advisory %d rejected: %v", name, i+1, err)
+			}
+		}
+	}
+}
+
+// TestValidateRejectsImplausible feeds bulletins that parse cleanly but
+// carry physically impossible numbers; each must fail with a typed
+// ValidationError naming the offending field.
+func TestValidateRejectsImplausible(t *testing.T) {
+	texts := GenerateCorpus(datasets.HurricaneByName("Sandy"))
+	valid := texts[len(texts)/2]
+	adv, err := ParseAdvisory(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(a Advisory) string { return a.Text() }
+
+	cases := []struct {
+		name  string
+		text  string
+		field string
+	}{
+		{"absurd winds", mutate(func() Advisory { m := *adv; m.MaxWindMPH = MaxPlausibleWindMPH + 1; return m }()), "maximum winds"},
+		{"oversized tropical radius", mutate(func() Advisory {
+			m := *adv
+			m.TropicalRadiusMi = MaxPlausibleRadiusMi + 1
+			return m
+		}()), "tropical radius"},
+		{"absurd movement", mutate(func() Advisory {
+			m := *adv
+			m.MovementSpeedMPH = MaxPlausibleMovementMPH + 1
+			return m
+		}()), "movement speed"},
+		{"huge advisory number", strings.Replace(valid,
+			"ADVISORY NUMBER "+strconv.Itoa(adv.Number), "ADVISORY NUMBER 99999", 1), "advisory number"},
+	}
+	for _, tc := range cases {
+		_, err := ValidateAdvisory(tc.text)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ve *resilience.ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error %v is not a ValidationError", tc.name, err)
+			continue
+		}
+		if ve.Field != tc.field {
+			t.Errorf("%s: rejected on field %q, want %q (%v)", tc.name, ve.Field, tc.field, err)
+		}
+	}
+
+	// Parse failures pass through unchanged: still ValidationError-or-error,
+	// never a silent accept.
+	if _, err := ValidateAdvisory("NOT A BULLETIN"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

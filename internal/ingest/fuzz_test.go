@@ -1,0 +1,169 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalReplay throws arbitrary bytes at the journal codec. The
+// invariants, for ANY input:
+//
+//   - decodeRecords never panics and never allocates past the record cap;
+//   - the valid prefix re-encodes byte-identically (decode∘encode = id on
+//     the accepted region), so replay is lossless;
+//   - torn and corrupt are mutually exclusive, and a clean parse claims
+//     the whole input;
+//   - truncating or bit-flipping the tail of a well-formed journal fails
+//     closed: the intact prefix survives, nothing fabricated appears.
+func FuzzJournalReplay(f *testing.F) {
+	// Seed with well-formed journals, a torn tail, and a bit-flip.
+	var well []byte
+	well = encodeRecord(well, Record{Seq: 1, Text: "HURRICANE IRENE ADVISORY 1"})
+	well = encodeRecord(well, Record{Seq: 2, Text: "HURRICANE IRENE ADVISORY 2"})
+	f.Add(well)
+	f.Add(well[:len(well)-5])
+	flipped := bytes.Clone(well)
+	flipped[len(flipped)-1] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, torn, corrupt := decodeRecords(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid offset %d out of range [0,%d]", valid, len(data))
+		}
+		if torn && corrupt {
+			t.Fatal("torn and corrupt both set")
+		}
+		if !torn && !corrupt && valid != len(data) {
+			t.Fatalf("clean parse stopped at %d of %d bytes", valid, len(data))
+		}
+		var re []byte
+		var lastSeq uint64
+		for i, rec := range recs {
+			if i > 0 && rec.Seq <= lastSeq {
+				t.Fatalf("accepted non-monotonic seq %d after %d", rec.Seq, lastSeq)
+			}
+			lastSeq = rec.Seq
+			re = encodeRecord(re, rec)
+		}
+		if !bytes.Equal(re, data[:valid]) {
+			t.Fatalf("valid prefix does not round-trip: %d bytes in, %d re-encoded", valid, len(re))
+		}
+
+		// Fail-closed under tail damage: append a known-good record to the
+		// accepted prefix, then truncate or flip its tail. The prefix must
+		// still decode intact and no new record may materialize.
+		good := encodeRecord(bytes.Clone(data[:valid]), Record{Seq: lastSeq + 1, Text: "tail probe"})
+		for _, cut := range []int{1, 5, recordHeader} {
+			if cut >= len(good)-valid {
+				continue
+			}
+			pr, pv, pt, pc := decodeRecords(good[:len(good)-cut])
+			if len(pr) != len(recs) || pv != valid || !pt || pc {
+				t.Fatalf("truncated tail (cut %d): recs=%d valid=%d torn=%v corrupt=%v", cut, len(pr), pv, pt, pc)
+			}
+		}
+		dam := bytes.Clone(good)
+		dam[len(dam)-3] ^= 0x01
+		pr, pv, pt, pc := decodeRecords(dam)
+		if len(pr) != len(recs) || pv != valid || !pt || pc {
+			t.Fatalf("bit-flipped tail: recs=%d valid=%d torn=%v corrupt=%v", len(pr), pv, pt, pc)
+		}
+	})
+}
+
+// FuzzJournalAppendReplay drives the full file path: a journal built from
+// fuzzer-chosen advisory texts must replay exactly, even after the file
+// loses its final bytes.
+func FuzzJournalAppendReplay(f *testing.F) {
+	f.Add("ADVISORY ONE\x00ADVISORY TWO", uint8(3))
+	f.Add("", uint8(0))
+	f.Fuzz(func(t *testing.T, joined string, chop uint8) {
+		texts := splitNull(joined)
+		dir := t.TempDir()
+		j, recs, err := OpenJournal(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("fresh journal replayed %d records", len(recs))
+		}
+		for _, text := range texts {
+			if len(text)+8 > maxRecordBytes {
+				continue
+			}
+			if _, err := j.Append(text); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		wrote := j.Records()
+		j.Close()
+
+		recs2 := replayAll(t, dir)
+		if len(recs2) != wrote {
+			t.Fatalf("replayed %d of %d records", len(recs2), wrote)
+		}
+
+		// Chop up to chop bytes off the tail: replay must never error (a
+		// short file is torn, not corrupt) and never invent records.
+		if chop > 0 {
+			data := readFileT(t, dir)
+			if n := len(data) - int(chop); n >= 0 {
+				writeFileT(t, dir, data[:n])
+				recs3 := replayAll(t, dir)
+				if len(recs3) > wrote {
+					t.Fatalf("truncated journal grew: %d > %d", len(recs3), wrote)
+				}
+			}
+		}
+	})
+}
+
+func splitNull(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := bytes.IndexByte([]byte(s), 0)
+		if i < 0 {
+			out = append(out, s)
+			break
+		}
+		out = append(out, s[:i])
+		s = s[i+1:]
+	}
+	return out
+}
+
+func replayAll(t *testing.T, dir string) []Record {
+	t.Helper()
+	j, recs, err := OpenJournal(dir)
+	if err != nil {
+		// A chopped header (file shorter than journalHeader) legitimately
+		// fails magic validation; treat only record-level errors as fatal.
+		if len(readFileT(t, dir)) < journalHeader {
+			return nil
+		}
+		t.Fatalf("replay: %v", err)
+	}
+	j.Close()
+	return recs
+}
+
+func readFileT(t *testing.T, dir string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFileT(t *testing.T, dir string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, journalName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package ingest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"riskroute/internal/obs"
+	"riskroute/internal/resilience"
+)
+
+// TestIngestFaultEndurance is the subsystem's endurance hammer: a live HTTP
+// feed that opens with a burst of 5xx responses and a hung (timing-out)
+// request, then streams the Sandy corpus with two advisories corrupted in
+// flight by the resilience injector, while a status reader hammers Status
+// concurrently (the -race build is the point). The run must end with
+//
+//   - the breaker recovered (closed) after having tripped,
+//   - every corrupt advisory quarantined with a reason on disk,
+//   - zero torn generations (history strictly +1, no gaps or repeats),
+//   - every delivered advisory accounted for: accepted + quarantined = fed.
+func TestIngestFaultEndurance(t *testing.T) {
+	texts := sandyTexts(t, 8)
+	var reqs atomic.Int64
+	var next atomic.Int64
+	feed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n := reqs.Add(1); {
+		case n <= 2 || n == 4 || n == 5:
+			// 5xx burst: enough consecutive failures to trip the breaker.
+			http.Error(w, "upstream exploded", http.StatusBadGateway)
+		case n == 3:
+			// Hang past the poller's per-attempt timeout.
+			select {
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second):
+			}
+		default:
+			i := next.Add(1) - 1
+			if int(i) < len(texts) {
+				w.Write([]byte(texts[i]))
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	defer feed.Close()
+
+	inj := resilience.NewInjector(7)
+	// Corrupt advisories 2 and 5 in flight (item accept sequence keys).
+	inj.EnableKeys(resilience.PointIngestPoll, resilience.Corrupt, 2, 5)
+
+	jdir := t.TempDir()
+	sw := &fakeSwapper{}
+	reg := obs.NewRegistry()
+	p := newTestPoller(t, Config{
+		Source:           NewHTTPSource(feed.URL, feed.Client()),
+		JournalDir:       jdir,
+		Interval:         time.Millisecond,
+		PollTimeout:      25 * time.Millisecond,
+		BackoffMax:       5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Millisecond,
+		Injector:         inj,
+		Metrics:          reg,
+	}, sw)
+	mustRecover(t, p)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.Run(ctx) }()
+	// Concurrent status reader: races against the run loop's counters,
+	// journal atomics, and breaker state.
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			_ = p.Status()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	var st Status
+	for {
+		st = p.Status()
+		if st.Accepted+st.Quarantined == uint64(len(texts)) && st.Breaker == "closed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			wg.Wait()
+			t.Fatalf("hammer never converged: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	st = p.Status()
+
+	// The fault window must actually have exercised the breaker.
+	if st.BreakerTrips == 0 {
+		t.Fatalf("breaker never tripped: %+v", st)
+	}
+	if st.PollFailures < 3 {
+		t.Fatalf("fault window produced only %d poll failures", st.PollFailures)
+	}
+	// Both corrupted advisories were quarantined with reasons on disk.
+	if st.Quarantined != 2 {
+		t.Fatalf("quarantined %d, want 2: %+v", st.Quarantined, st)
+	}
+	assertReasonsOnDisk(t, jdir, int(st.Quarantined))
+	// Everything that survived corruption was applied exactly once, in
+	// strictly monotonic generations with no gaps — no torn worlds.
+	gens, applied, reverts := sw.snapshot()
+	if reverts != 0 {
+		t.Fatalf("unexpected reverts: %d", reverts)
+	}
+	assertMonotonic(t, gens)
+	if len(applied) != int(st.Accepted) || st.Accepted != uint64(len(texts))-st.Quarantined {
+		t.Fatalf("applied=%d accepted=%d fed=%d", len(applied), st.Accepted, len(texts))
+	}
+	if st.JournalLag != 0 || st.JournalSeq != st.Accepted {
+		t.Fatalf("journal out of step: %+v", st)
+	}
+	// Metric mirrors moved with the counters.
+	snap := reg.Snapshot()
+	if snap.Counters["ingest.breaker.trips_total"] == 0 {
+		t.Fatal("trip counter metric never incremented")
+	}
+	if got := snap.Counters["ingest.accepted_total"]; got != int64(st.Accepted) {
+		t.Fatalf("accepted metric %d != %d", got, st.Accepted)
+	}
+}
+
+// assertReasonsOnDisk fails unless the quarantine directory holds exactly n
+// payloads, each with a non-empty .reason companion.
+func assertReasonsOnDisk(t *testing.T, journalDir string, n int) {
+	t.Helper()
+	dir := filepath.Join(journalDir, quarantineDirName)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".txt" {
+			continue
+		}
+		payloads++
+		reason, err := os.ReadFile(filepath.Join(dir, e.Name()[:len(e.Name())-4]+".reason"))
+		if err != nil {
+			t.Fatalf("%s has no reason file: %v", e.Name(), err)
+		}
+		if len(reason) == 0 {
+			t.Fatalf("%s has an empty reason", e.Name())
+		}
+	}
+	if payloads != n {
+		t.Fatalf("%d quarantined payloads on disk, want %d", payloads, n)
+	}
+}

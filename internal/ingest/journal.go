@@ -1,0 +1,242 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// The write-ahead journal is the crash-safety anchor of continuous
+// ingestion: every advisory that clears validation is appended — and
+// fsynced — here *before* the snapshot swap is attempted, so a process
+// killed at any instant recovers to the exact pre-crash generation by
+// replaying the journal at boot.
+//
+// # On-disk format
+//
+// The file opens with an 8-byte header: the magic "RRWJ" followed by a
+// little-endian uint32 format version. Each record is then
+//
+//	uint32  payload length (little-endian)
+//	uint32  CRC-32C of the payload (Castagnoli, little-endian)
+//	bytes   payload
+//
+// where the payload is a little-endian uint64 sequence number followed by
+// the advisory text. Appends write the whole record with one Write call and
+// fsync before returning, so the tail of a crashed process is either absent
+// or torn — never silently half-applied.
+//
+// # Recovery semantics
+//
+// Replay fails closed: records are accepted only while length, CRC, and
+// sequence monotonicity all hold. The first violation ends the valid
+// prefix. A *torn tail* (the file ends mid-record — the expected result of
+// kill -9 during an append) is healed by truncating back to the last good
+// record; a *corrupt interior* (a record whose CRC fails with more data
+// after it, or a broken header) is an integrity error surfaced to the
+// caller, because silently dropping acknowledged records would un-apply
+// advisories the daemon already served.
+
+const (
+	journalMagic   = "RRWJ"
+	journalVersion = 1
+	journalHeader  = 8 // magic + version
+	recordHeader   = 8 // length + crc
+	// maxRecordBytes bounds one journal record; it mirrors the serving
+	// daemon's advisory body cap plus the sequence prefix, so a corrupted
+	// length field cannot trigger a giant allocation.
+	maxRecordBytes = 1<<20 + 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled advisory.
+type Record struct {
+	Seq  uint64
+	Text string
+}
+
+// encodeRecord appends rec's wire form to buf and returns the result.
+func encodeRecord(buf []byte, rec Record) []byte {
+	payload := len(rec.Text) + 8
+	var hdr [recordHeader + 8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload))
+	binary.LittleEndian.PutUint64(hdr[recordHeader:], rec.Seq)
+	buf = append(buf, hdr[:recordHeader]...)
+	crcAt := len(buf) - 4 // patched after the payload is in place
+	buf = append(buf, hdr[recordHeader:]...)
+	buf = append(buf, rec.Text...)
+	crc := crc32.Checksum(buf[len(buf)-payload:], crcTable)
+	binary.LittleEndian.PutUint32(buf[crcAt:crcAt+4], crc)
+	return buf
+}
+
+// decodeRecords walks data (a journal file image without its file header)
+// and returns every valid record plus the byte offset where validity ends.
+// torn reports whether the remainder looks like a torn tail (truncated
+// final record) as opposed to a clean end; corrupt reports a CRC or
+// structural violation with further data after it. torn and corrupt are
+// mutually exclusive; when both are false the whole input parsed.
+func decodeRecords(data []byte) (recs []Record, valid int, torn, corrupt bool) {
+	off := 0
+	var lastSeq uint64
+	for {
+		if off == len(data) {
+			return recs, off, false, false
+		}
+		if len(data)-off < recordHeader {
+			return recs, off, true, false
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length < 8 || length > maxRecordBytes {
+			// A nonsense length field: with a full header present this is
+			// corruption, not truncation.
+			return recs, off, false, true
+		}
+		if len(data)-off-recordHeader < length {
+			return recs, off, true, false
+		}
+		payload := data[off+recordHeader : off+recordHeader+length]
+		if crc32.Checksum(payload, crcTable) != crc {
+			// Whether this is a torn tail or interior corruption depends on
+			// whether anything follows: a final half-written record is
+			// expected after kill -9, garbage with more records after it is
+			// not.
+			tail := off+recordHeader+length == len(data)
+			return recs, off, tail, !tail
+		}
+		seq := binary.LittleEndian.Uint64(payload[:8])
+		if len(recs) > 0 && seq <= lastSeq {
+			return recs, off, false, true
+		}
+		lastSeq = seq
+		recs = append(recs, Record{Seq: seq, Text: string(payload[8:])})
+		off += recordHeader + length
+	}
+}
+
+// Journal is an append-only advisory write-ahead log. Appends are
+// single-writer (the Poller serializes them); Seq and Records are safe to
+// read concurrently (the status endpoint does).
+type Journal struct {
+	path string
+	f    *os.File
+	seq  atomic.Uint64 // last sequence appended (or recovered)
+	recs atomic.Int64  // records currently in the file
+}
+
+// journalName is the journal's file name inside the journal directory.
+const journalName = "advisories.wal"
+
+// OpenJournal opens (creating if absent) the advisory journal in dir and
+// replays its contents: the returned records are the valid prefix, in
+// order. A torn tail is truncated away; interior corruption or a bad
+// header is an error. The journal is left positioned for appends.
+func OpenJournal(dir string) (*Journal, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("ingest: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: open journal: %w", err)
+	}
+	j := &Journal{path: path, f: f}
+
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: stat journal: %w", err)
+	}
+	if info.Size() == 0 {
+		var hdr [journalHeader]byte
+		copy(hdr[:4], journalMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], journalVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: sync journal header: %w", err)
+		}
+		return j, nil, nil
+	}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: read journal: %w", err)
+	}
+	if len(data) < journalHeader || string(data[:4]) != journalMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: %s is not an advisory journal (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != journalVersion {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: journal version %d, this build reads %d", v, journalVersion)
+	}
+	recs, valid, torn, corrupt := decodeRecords(data[journalHeader:])
+	if corrupt {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: journal %s corrupt at offset %d (%d records intact); refusing to drop acknowledged advisories — move the file aside to reset",
+			path, journalHeader+valid, len(recs))
+	}
+	end := int64(journalHeader + valid)
+	if torn {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: truncate torn journal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: sync truncated journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: seek journal end: %w", err)
+	}
+	if n := len(recs); n > 0 {
+		j.seq.Store(recs[n-1].Seq)
+	}
+	j.recs.Store(int64(len(recs)))
+	return j, recs, nil
+}
+
+// Append durably writes one advisory and returns its sequence number. The
+// record is fsynced before Append returns: once a sequence number is handed
+// out, the advisory survives any crash.
+func (j *Journal) Append(text string) (uint64, error) {
+	if len(text)+8 > maxRecordBytes {
+		return 0, fmt.Errorf("ingest: advisory of %d bytes exceeds journal record cap", len(text))
+	}
+	seq := j.seq.Load() + 1
+	buf := encodeRecord(nil, Record{Seq: seq, Text: text})
+	if _, err := j.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("ingest: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return 0, fmt.Errorf("ingest: journal sync: %w", err)
+	}
+	j.seq.Store(seq)
+	j.recs.Add(1)
+	return seq, nil
+}
+
+// Seq returns the last sequence number appended or recovered (0 when empty).
+func (j *Journal) Seq() uint64 { return j.seq.Load() }
+
+// Records returns how many records the journal currently holds.
+func (j *Journal) Records() int { return int(j.recs.Load()) }
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,204 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j, recs
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	texts := []string{"first advisory", "second\nwith newline", strings.Repeat("x", 10_000)}
+	for i, text := range texts {
+		seq, err := j.Append(text)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d returned seq %d", i, seq)
+		}
+	}
+	if j.Records() != len(texts) || j.Seq() != uint64(len(texts)) {
+		t.Fatalf("Records=%d Seq=%d after %d appends", j.Records(), j.Seq(), len(texts))
+	}
+	j.Close()
+
+	j2, recs := mustOpen(t, dir)
+	defer j2.Close()
+	if len(recs) != len(texts) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(texts))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) || rec.Text != texts[i] {
+			t.Fatalf("record %d: seq=%d text=%q", i, rec.Seq, rec.Text)
+		}
+	}
+	// Appends continue the recovered sequence.
+	seq, err := j2.Append("fourth")
+	if err != nil || seq != 4 {
+		t.Fatalf("post-recovery append: seq=%d err=%v", seq, err)
+	}
+}
+
+// TestJournalTornTail truncates the file mid-record at every possible
+// byte boundary of the final record: recovery must always return the
+// intact prefix, heal the file, and accept new appends.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	if _, err := j.Append("intact record one"); err != nil {
+		t.Fatal(err)
+	}
+	intactSize := fileSize(t, j.Path())
+	if _, err := j.Append("the record a crash tears"); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	for cut := intactSize + 1; cut < int64(len(full)); cut++ {
+		path := filepath.Join(t.TempDir(), journalName)
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs, err := OpenJournal(filepath.Dir(path))
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(recs) != 1 || recs[0].Text != "intact record one" {
+			t.Fatalf("cut at %d: recovered %d records", cut, len(recs))
+		}
+		if got := fileSize(t, path); got != intactSize {
+			t.Fatalf("cut at %d: torn tail not truncated (size %d, want %d)", cut, got, intactSize)
+		}
+		if seq, err := j2.Append("after recovery"); err != nil || seq != 2 {
+			t.Fatalf("cut at %d: append after recovery: seq=%d err=%v", cut, seq, err)
+		}
+		j2.Close()
+	}
+}
+
+// TestJournalInteriorCorruption flips one byte of the FIRST record while a
+// later record follows: that is not a torn tail, and recovery must refuse
+// rather than silently un-apply acknowledged advisories.
+func TestJournalInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	firstEnd := int64(0)
+	if _, err := j.Append("record one"); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd = fileSize(t, j.Path())
+	if _, err := j.Append("record two"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of record one (past its 8-byte record header and
+	// 8-byte seq, inside the text).
+	data[journalHeader+recordHeader+8] ^= 0xff
+	_ = firstEnd
+	if err := os.WriteFile(filepath.Join(dir, journalName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(dir); err == nil {
+		t.Fatal("interior corruption recovered silently")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestJournalBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte("GARBAGE FILE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(dir); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err=%v", err)
+	}
+
+	dir2 := t.TempDir()
+	hdr := []byte(journalMagic)
+	hdr = append(hdr, 99, 0, 0, 0) // future version
+	if err := os.WriteFile(filepath.Join(dir2, journalName), hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(dir2); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err=%v", err)
+	}
+}
+
+func TestJournalOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	defer j.Close()
+	if _, err := j.Append(strings.Repeat("x", maxRecordBytes)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if j.Seq() != 0 {
+		t.Fatalf("failed append advanced seq to %d", j.Seq())
+	}
+}
+
+// TestDecodeRecordsSeqRegression pins that a sequence number going
+// backward (impossible from Append, possible from tampering) ends the
+// valid prefix as corruption.
+func TestDecodeRecordsSeqRegression(t *testing.T) {
+	var buf []byte
+	buf = encodeRecord(buf, Record{Seq: 5, Text: "five"})
+	buf = encodeRecord(buf, Record{Seq: 4, Text: "four"})
+	recs, _, torn, corrupt := decodeRecords(buf)
+	if len(recs) != 1 || torn || !corrupt {
+		t.Fatalf("recs=%d torn=%v corrupt=%v", len(recs), torn, corrupt)
+	}
+}
+
+func TestEncodeDecodeEmptyAndBoundary(t *testing.T) {
+	// Empty text is legal (an empty advisory would fail validation far
+	// before the journal, but the codec must not care).
+	var buf []byte
+	buf = encodeRecord(buf, Record{Seq: 1, Text: ""})
+	recs, valid, torn, corrupt := decodeRecords(buf)
+	if len(recs) != 1 || valid != len(buf) || torn || corrupt || recs[0].Text != "" {
+		t.Fatalf("empty-text record: recs=%v valid=%d torn=%v corrupt=%v", recs, valid, torn, corrupt)
+	}
+	// A record header shorter than 8 bytes is a torn tail, not corruption.
+	recs, _, torn, corrupt = decodeRecords(buf[:3])
+	if len(recs) != 0 || !torn || corrupt {
+		t.Fatalf("3-byte fragment: recs=%d torn=%v corrupt=%v", len(recs), torn, corrupt)
+	}
+	if !bytes.Equal(encodeRecord(nil, Record{Seq: 1, Text: ""}), buf) {
+		t.Fatal("encodeRecord not deterministic")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}

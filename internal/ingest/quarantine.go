@@ -1,0 +1,62 @@
+package ingest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// quarantineDirName is the dead-letter directory inside the journal dir.
+const quarantineDirName = "quarantine"
+
+// quarantine is the dead-letter store for advisories the pipeline refused:
+// validation failures, journal-append failures, and swaps that errored or
+// panicked. Each payload lands as <sha256-prefix>.txt next to a
+// <sha256-prefix>.reason file holding the failure reason, so an operator
+// can inspect, fix, and re-feed. Content-addressed names make quarantining
+// idempotent: the same corrupt bulletin re-encountered after a restart
+// overwrites its own entry instead of accumulating duplicates.
+type quarantine struct {
+	dir string
+}
+
+func newQuarantine(journalDir string) (*quarantine, error) {
+	dir := filepath.Join(journalDir, quarantineDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: quarantine dir: %w", err)
+	}
+	return &quarantine{dir: dir}, nil
+}
+
+// Put stores one refused payload with its reason and returns the payload
+// file's path. Quarantine failures are returned, not fatal: losing a
+// dead-letter copy must never stop ingestion.
+func (q *quarantine) Put(text, reason string) (string, error) {
+	sum := sha256.Sum256([]byte(text))
+	name := hex.EncodeToString(sum[:8])
+	path := filepath.Join(q.dir, name+".txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		return "", fmt.Errorf("ingest: quarantine payload: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(q.dir, name+".reason"), []byte(reason+"\n"), 0o644); err != nil {
+		return "", fmt.Errorf("ingest: quarantine reason: %w", err)
+	}
+	return path, nil
+}
+
+// Len counts quarantined payloads on disk.
+func (q *quarantine) Len() (int, error) {
+	entries, err := os.ReadDir(q.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".txt" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,153 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Source is one advisory feed. Poll returns the advisories that appeared
+// since the previous call, oldest first; an empty slice means "nothing
+// new". Poll must honor ctx cancellation — the poller wraps every attempt
+// in a per-attempt timeout.
+type Source interface {
+	// Poll fetches new advisories.
+	Poll(ctx context.Context) ([]string, error)
+	// Name describes the feed for logs and the status endpoint.
+	Name() string
+}
+
+// NewSource builds a Source from a feed spec: "http://" or "https://"
+// prefixes select the HTTP poller, anything else is a directory watched for
+// advisory files.
+func NewSource(spec string) (Source, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("ingest: empty feed spec")
+	}
+	if strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://") {
+		return NewHTTPSource(spec, nil), nil
+	}
+	return NewDirSource(spec), nil
+}
+
+// DirSource watches a directory: every regular file matching *.txt is one
+// advisory bulletin, consumed in lexicographic filename order (NHC-style
+// "sandy-018.txt" names sort chronologically). Files are tracked by name
+// in memory only — after a restart everything is re-read and the poller's
+// journal-seeded dedupe discards what was already applied, so a half-
+// consumed directory converges instead of double-applying.
+type DirSource struct {
+	dir  string
+	seen map[string]bool
+}
+
+// NewDirSource watches dir for advisory files.
+func NewDirSource(dir string) *DirSource {
+	return &DirSource{dir: dir, seen: make(map[string]bool)}
+}
+
+// Name implements Source.
+func (d *DirSource) Name() string { return "dir:" + d.dir }
+
+// Poll implements Source: it lists the directory and reads files not yet
+// consumed. A file that vanishes between list and read is skipped (feeds
+// rotate); any other read failure aborts the poll so the breaker sees it.
+func (d *DirSource) Poll(ctx context.Context) ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: list feed dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") || d.seen[e.Name()] {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		data, err := os.ReadFile(filepath.Join(d.dir, name))
+		if os.IsNotExist(err) {
+			d.seen[name] = true
+			continue
+		}
+		if err != nil {
+			return out, fmt.Errorf("ingest: read %s: %w", name, err)
+		}
+		d.seen[name] = true
+		out = append(out, string(data))
+	}
+	return out, nil
+}
+
+// HTTPSource polls a URL that serves the latest advisory bulletin as plain
+// text — the shape of the NHC's "current public advisory" pages. 200
+// returns the bulletin (the poller dedupes repeats of the same advisory),
+// 204 and 304 mean nothing new, anything else is a poll failure the
+// breaker counts.
+type HTTPSource struct {
+	url    string
+	client *http.Client
+	last   string // last body seen, to skip re-delivering an unchanged page
+}
+
+// NewHTTPSource polls url with client (nil means http.DefaultClient; the
+// per-attempt timeout comes from the poller's context, not the client).
+func NewHTTPSource(url string, client *http.Client) *HTTPSource {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPSource{url: url, client: client}
+}
+
+// Name implements Source.
+func (h *HTTPSource) Name() string { return h.url }
+
+// maxFeedBytes bounds one HTTP feed response, mirroring the serving
+// daemon's advisory body cap.
+const maxFeedBytes = 1 << 20
+
+// Poll implements Source.
+func (h *HTTPSource) Poll(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: feed request: %w", err)
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: feed poll: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Fall through to read the bulletin.
+	case http.StatusNoContent, http.StatusNotModified:
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("ingest: feed answered %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFeedBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: feed body: %w", err)
+	}
+	if len(body) > maxFeedBytes {
+		return nil, fmt.Errorf("ingest: feed body exceeds %d bytes", maxFeedBytes)
+	}
+	text := string(body)
+	if text == h.last {
+		return nil, nil
+	}
+	h.last = text
+	return []string{text}, nil
+}

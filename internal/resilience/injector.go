@@ -33,7 +33,31 @@ const (
 	// PointServeRoute fires on the serving daemon's route hot path after a
 	// cache miss, keyed by request sequence number.
 	PointServeRoute Point = "serve-route"
+	// PointIngestPoll fires in the continuous advisory poller at two
+	// granularities: ForceError rules, keyed by poll attempt number, fail
+	// the whole attempt (a feed timeout or 5xx); Corrupt/Truncate/Drop
+	// rules, keyed by item accept sequence, mangle or lose one advisory's
+	// text (a flaky feed). The mode split keeps the two key spaces from
+	// colliding.
+	PointIngestPoll Point = "ingest-poll"
+	// PointIngestJournal fires before a validated advisory is appended to
+	// the write-ahead journal, keyed by the journal sequence the record
+	// would take — a forced error models a full or failing disk.
+	PointIngestJournal Point = "ingest-journal"
+	// PointIngestSwap fires in the poller's swap guard, keyed by the
+	// advisory's journal sequence: a ForceError at the plain key models a
+	// rebuild failure before publish; the poller also consults key +
+	// PostSwapKeyOffset after publish, and a forced error there drives the
+	// rollback (revert-republish) path.
+	PointIngestSwap Point = "ingest-swap"
 )
+
+// PostSwapKeyOffset shifts an ingest-swap injection key past the pre-swap
+// key space: rules targeting journal sequence s fail the rebuild before
+// publish, rules targeting s+PostSwapKeyOffset fail the post-publish
+// verification and exercise rollback. The offset is far above any real
+// journal sequence.
+const PostSwapKeyOffset uint64 = 1 << 32
 
 // Mode is the kind of fault to inject.
 type Mode int
@@ -70,7 +94,7 @@ func (m Mode) String() string {
 // fault is one enabled fault rule.
 type fault struct {
 	mode Mode
-	rate float64        // probability per key in [0, 1]; ignored when keys set
+	rate float64         // probability per key in [0, 1]; ignored when keys set
 	keys map[uint64]bool // explicit target keys; nil means rate-based
 }
 

@@ -17,10 +17,7 @@ import (
 //   - Admitted requests run with a context deadline of cfg.RequestTimeout;
 //     handlers check the deadline before starting expensive work.
 func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
-	retryAfter := strconv.Itoa(int((s.cfg.QueueTimeout + 999*time.Millisecond) / time.Second))
-	if retryAfter == "0" {
-		retryAfter = "1"
-	}
+	retryAfter := retryAfterSeconds(s.cfg.QueueTimeout)
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
@@ -41,8 +38,10 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 		}
+		s.inflight.Add(1)
 		s.tel.inflight.Add(1)
 		defer func() {
+			s.inflight.Add(-1)
 			s.tel.inflight.Add(-1)
 			<-s.sem
 		}()
@@ -56,6 +55,19 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 // statusClientClosed is nginx's conventional "client closed request" code;
 // the stdlib has no name for it.
 const statusClientClosed = 499
+
+// retryAfterSeconds renders a queue timeout as the Retry-After header value:
+// RFC 9110 delay-seconds (an integer, no units), rounded UP so the hint
+// never invites a retry before the queue could plausibly have drained, and
+// never less than 1 — "Retry-After: 0" reads as "retry immediately", which
+// is exactly the stampede the header exists to prevent.
+func retryAfterSeconds(queueTimeout time.Duration) string {
+	secs := int((queueTimeout + 999*time.Millisecond) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
 
 // deadlineExceeded reports whether the request's context is already done,
 // writing the 503 for the caller when it is. Handlers call this before

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"riskroute/internal/obs"
 )
 
 // admissionServer builds a bare Server with only the admission machinery
@@ -129,6 +131,123 @@ func TestAdmissionAppliesRequestDeadline(t *testing.T) {
 	}
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("deadline response: %d, want 503", rec.Code)
+	}
+}
+
+// TestRetryAfterFormatting pins the exact Retry-After value for every shape
+// of queue timeout: RFC 9110 delay-seconds, rounded up, floored at 1.
+func TestRetryAfterFormatting(t *testing.T) {
+	cases := []struct {
+		timeout time.Duration
+		want    string
+	}{
+		{0, "1"},
+		{time.Millisecond, "1"},
+		{100 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{time.Second + time.Millisecond, "2"},
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+		{2500 * time.Millisecond, "3"},
+		{time.Minute, "60"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.timeout); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.timeout, got, tc.want)
+		}
+	}
+
+	// And end to end: the header a shed request actually receives.
+	s := admissionServer(1, 30*time.Millisecond)
+	s.sem <- struct{}{} // saturate
+	h := s.admit(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: %d", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q (30ms queue timeout rounds up to 1s)", got, "1")
+	}
+}
+
+// TestClientStatusesExcludedFromErrorCounter pins that 429 (load shed) and
+// 499 (client abandoned) never count as serving errors, while genuine 4xx/
+// 5xx still do — the distinction that keeps overload from paging as an
+// outage.
+func TestClientStatusesExcludedFromErrorCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	errsBefore := func() int64 { return reg.Snapshot().Counters["serve.errors_total"] }
+
+	s := admissionServer(1, 5*time.Millisecond)
+	s.tel = newServeObs(reg)
+	s.cfg.Metrics = reg
+
+	// 429 via real queue overflow under instrument.
+	s.sem <- struct{}{}
+	h := s.instrument("route", s.admit(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d", rec.Code)
+	}
+	if n := errsBefore(); n != 0 {
+		t.Fatalf("429 counted as serving error (errors_total=%d)", n)
+	}
+	if reg.Snapshot().Counters["serve.rejected_total"] != 1 {
+		t.Fatal("429 not counted in rejected_total")
+	}
+
+	// 499 via a client that gives up while queued (slot still held).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil).WithContext(ctx))
+	if rec.Code != statusClientClosed {
+		t.Fatalf("want 499, got %d", rec.Code)
+	}
+	if n := errsBefore(); n != 0 {
+		t.Fatalf("499 counted as serving error (errors_total=%d)", n)
+	}
+
+	// A genuine server-side failure still counts.
+	<-s.sem
+	boom := s.instrument("route", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusInternalServerError, "boom")
+	})
+	boom(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/route", nil))
+	if n := errsBefore(); n != 1 {
+		t.Fatalf("real 500 not counted (errors_total=%d)", n)
+	}
+}
+
+// TestClientAbandonWhileQueuedLeavesNoResidue pins the 499 path's
+// bookkeeping: an abandoned queued request must not leak a semaphore slot
+// or perturb the in-flight gauge.
+func TestClientAbandonWhileQueuedLeavesNoResidue(t *testing.T) {
+	s := admissionServer(1, time.Minute)
+	s.sem <- struct{}{} // slot held by someone else for the whole test
+	h := s.admit(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("abandoned request reached the handler")
+	})
+
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/v1/route", nil).WithContext(ctx))
+		if rec.Code != statusClientClosed {
+			t.Fatalf("attempt %d: %d, want %d", i, rec.Code, statusClientClosed)
+		}
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("in-flight count %d after abandoned requests", got)
+	}
+	if len(s.sem) != 1 {
+		t.Fatalf("semaphore occupancy %d, want 1 (only the original holder)", len(s.sem))
 	}
 }
 

@@ -28,6 +28,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/route", s.instrument("route", s.admit(s.handleRoute)))
 	mux.HandleFunc("/v1/ratio", s.instrument("ratio", s.admit(s.handleRatio)))
 	mux.HandleFunc("/v1/advisory", s.instrument("advisory", s.handleAdvisory))
+	mux.HandleFunc("/v1/ingest", s.instrument("ingest", s.handleIngest))
 	return mux
 }
 
@@ -57,7 +58,11 @@ func (s *Server) instrument(name string, next http.HandlerFunc) http.HandlerFunc
 		next(sw, r)
 		requests.Inc()
 		seconds.Observe(time.Since(start).Seconds())
-		if sw.status >= 400 && sw.status != http.StatusTooManyRequests {
+		// 429 (load shed) and 499 (client abandoned its own request) are
+		// shaped by the client or the admission policy, not by a serving
+		// fault — counting them in errors_total would page operators for
+		// traffic weather.
+		if sw.status >= 400 && sw.status != http.StatusTooManyRequests && sw.status != statusClientClosed {
 			s.tel.errors.Inc()
 		}
 	}
@@ -420,6 +425,19 @@ func (s *Server) handleAdvisory(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", "GET, POST")
 		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	}
+}
+
+// handleIngest serves the continuous-ingestion lifecycle document. Until a
+// poller is attached (the daemon was started without an advisory feed or
+// journal), it answers 404 so probes can tell "no ingestion configured"
+// from "ingestion stuck".
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	fn := s.ingestStatus.Load()
+	if fn == nil {
+		s.writeError(w, http.StatusNotFound, "no advisory ingestion attached (start with -advisory-feed / -journal-dir)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, (*fn)())
 }
 
 func advisoryInfoOf(gen uint64, a *forecast.Advisory) advisoryInfo {

@@ -206,15 +206,21 @@ type Server struct {
 	rm    forecast.RiskModel
 	bases []*netBase
 
-	snap     atomic.Pointer[snapshot]
-	swapMu   sync.Mutex // serializes advisory ingestion; readers never take it
+	snap      atomic.Pointer[snapshot]
+	swapMu    sync.Mutex // serializes advisory ingestion; readers never take it
+	prev      *snapshot  // snapshot before the last swap (under swapMu); rollback target
 	ingestSeq atomic.Uint64
 	routeSeq  atomic.Uint64
 
 	sem      chan struct{}
+	inflight atomic.Int64 // admitted requests currently executing
 	cache    *lru
 	ready    atomic.Bool
 	draining atomic.Bool
+
+	// ingestStatus, when attached, answers /v1/ingest with the advisory
+	// poller's lifecycle document.
+	ingestStatus atomic.Pointer[func() any]
 
 	mux *http.ServeMux
 }
@@ -367,23 +373,38 @@ func (s *Server) ApplyAdvisory(text string) (*forecast.Advisory, uint64, error) 
 		s.cfg.Health.Degrade("serve", err, "advisory ingest %d rejected", seq)
 		return nil, s.Generation(), err
 	}
+	gen, err := s.ApplyParsed(adv)
+	return adv, gen, err
+}
 
+// ApplyParsed swaps an already-parsed advisory into the serving world and
+// returns the generation now serving — the ingestion subsystem's swap hook
+// (ingest.Swapper). The rebuild runs inside a panic-recovery guard (a
+// panicking engine build becomes a typed DegradedError, never a dead
+// daemon), and the new snapshot is verified before the pointer moves; on
+// any failure the current snapshot keeps serving. Concurrent calls
+// serialize; readers are never blocked.
+func (s *Server) ApplyParsed(adv *forecast.Advisory) (uint64, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	cur := s.snap.Load()
 	gen := cur.gen + 1
 	if err := s.cfg.Injector.ForcedError(resilience.PointServeSwap, gen); err != nil {
 		s.cfg.Health.Degrade("serve", err, "swap to generation %d aborted", gen)
-		return nil, cur.gen, err
+		return cur.gen, err
 	}
 	span := s.cfg.Trace.Child("advisory-swap")
-	next, err := s.buildSnapshot(gen, adv, span)
+	next, err := s.buildSnapshotRecover(gen, adv, span)
+	if err == nil {
+		err = s.verifySnapshot(next, cur)
+	}
 	if err != nil {
 		span.End()
 		s.cfg.Health.Degrade("serve", err, "swap to generation %d failed", gen)
-		return nil, cur.gen, err
+		return cur.gen, err
 	}
 	s.snap.Store(next)
+	s.prev = cur
 	// Old-generation entries can never hit again (the generation is part of
 	// every cache key); reset eagerly so their memory is reclaimed now
 	// rather than by LRU pressure.
@@ -398,8 +419,90 @@ func (s *Server) ApplyAdvisory(text string) (*forecast.Advisory, uint64, error) 
 	s.cfg.Health.Record("serve", "generation %d: %s advisory %d applied", gen, adv.Storm, adv.Number)
 	s.lg.Info("advisory swap", "generation", gen, "storm", adv.Storm,
 		"advisory", adv.Number, "seconds", swapSeconds)
-	return adv, gen, nil
+	return gen, nil
 }
+
+// buildSnapshotRecover is buildSnapshot behind a panic guard: a panic in
+// the forecast-layer rebuild or an engine constructor is converted into a
+// typed *resilience.DegradedError instead of unwinding through the swap
+// lock and killing the daemon.
+func (s *Server) buildSnapshotRecover(gen uint64, adv *forecast.Advisory, span *obs.Span) (snap *snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			snap = nil
+			err = &resilience.DegradedError{Stage: "serve",
+				Err: fmt.Errorf("snapshot rebuild for generation %d panicked: %v", gen, r)}
+		}
+	}()
+	return s.buildSnapshot(gen, adv, span)
+}
+
+// verifySnapshot checks the structural invariants a publishable snapshot
+// must hold — every network present with a prebuilt engine, forecast
+// vectors sized to their PoP sets, and a generation exactly one past the
+// snapshot being replaced — so a torn build can never reach the atomic
+// pointer.
+func (s *Server) verifySnapshot(next, cur *snapshot) error {
+	if next.gen != cur.gen+1 {
+		return fmt.Errorf("serve: torn snapshot: generation %d does not follow %d", next.gen, cur.gen)
+	}
+	if len(next.states) != len(s.bases) || len(next.byName) != len(s.bases) {
+		return fmt.Errorf("serve: torn snapshot: %d/%d networks present", len(next.states), len(s.bases))
+	}
+	for _, st := range next.states {
+		if st == nil || st.engine == nil {
+			return fmt.Errorf("serve: torn snapshot: network state missing an engine")
+		}
+		if next.advisory != nil && len(st.forecast) != len(st.net.PoPs) {
+			return fmt.Errorf("serve: torn snapshot: %s forecast vector has %d entries for %d PoPs",
+				st.net.Name, len(st.forecast), len(st.net.PoPs))
+		}
+	}
+	return nil
+}
+
+// RevertAdvisory rolls the serving world back from a suspect generation:
+// if fromGen is still current and a pre-swap snapshot is retained, that
+// last good world is republished under a fresh generation (a revert, not a
+// pointer rewind, so generations stay monotonic and cache keys stay
+// unambiguous). The ingestion poller calls this when a published world
+// fails post-swap verification.
+func (s *Server) RevertAdvisory(fromGen uint64) (uint64, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.snap.Load()
+	if cur.gen != fromGen {
+		return cur.gen, fmt.Errorf("serve: cannot revert generation %d: now serving %d", fromGen, cur.gen)
+	}
+	if s.prev == nil {
+		return cur.gen, fmt.Errorf("serve: cannot revert generation %d: no prior snapshot retained", fromGen)
+	}
+	gen := cur.gen + 1
+	restored := &snapshot{
+		gen:      gen,
+		advisory: s.prev.advisory,
+		states:   s.prev.states,
+		byName:   s.prev.byName,
+	}
+	s.snap.Store(restored)
+	s.prev = nil // a revert cannot itself be reverted
+	s.cache.Reset()
+	s.tel.generation.Set(float64(gen))
+	s.cfg.Health.Record("serve", "generation %d: reverted generation %d to the prior world", gen, fromGen)
+	s.lg.Warn("advisory swap reverted", "bad_generation", fromGen, "generation", gen)
+	return gen, nil
+}
+
+// AttachIngest registers the continuous-ingestion status source; once
+// attached, GET /v1/ingest serves its document.
+func (s *Server) AttachIngest(status func() any) {
+	s.ingestStatus.Store(&status)
+}
+
+// InFlight returns how many admitted compute requests are executing right
+// now — the count a bounded drain reports as abandoned when its timeout
+// expires.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
 
 // Generation returns the currently served snapshot's generation.
 func (s *Server) Generation() uint64 { return s.snap.Load().gen }

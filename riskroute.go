@@ -41,6 +41,7 @@ import (
 	"riskroute/internal/forecast"
 	"riskroute/internal/geo"
 	"riskroute/internal/hazard"
+	"riskroute/internal/ingest"
 	"riskroute/internal/interdomain"
 	"riskroute/internal/obs"
 	"riskroute/internal/population"
@@ -438,7 +439,14 @@ const (
 	InjectServeParse    = resilience.PointServeParse
 	InjectServeSwap     = resilience.PointServeSwap
 	InjectServeRoute    = resilience.PointServeRoute
+	InjectIngestPoll    = resilience.PointIngestPoll
+	InjectIngestJournal = resilience.PointIngestJournal
+	InjectIngestSwap    = resilience.PointIngestSwap
 )
+
+// PostSwapKeyOffset shifts an InjectIngestSwap key into the post-publish
+// verification key space (see resilience.PostSwapKeyOffset).
+const PostSwapKeyOffset = resilience.PostSwapKeyOffset
 
 // Fault modes.
 const (
@@ -622,6 +630,34 @@ type (
 // NewServer warms the serving world and publishes generation 1. The
 // returned server's Handler is ready to mount on any net/http listener.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Continuous advisory ingestion: the crash-safe feed poller behind
+// riskrouted's -advisory-feed / -journal-dir flags (see DESIGN.md,
+// "Continuous ingestion and crash recovery"). The poller journals every
+// accepted advisory before swapping it into the serving world, so a killed
+// process recovers to the exact pre-crash generation by replay at boot.
+type (
+	// IngestConfig tunes the advisory feed poller.
+	IngestConfig = ingest.Config
+	// IngestPoller is the continuous ingestion engine.
+	IngestPoller = ingest.Poller
+	// IngestStatus is the lifecycle document served at /v1/ingest.
+	IngestStatus = ingest.Status
+	// IngestSource is one advisory feed (directory or HTTP).
+	IngestSource = ingest.Source
+)
+
+// NewIngestPoller opens (or creates) the advisory journal and builds the
+// poller around a serving surface — normally a *Server. Call Recover before
+// Run.
+func NewIngestPoller(cfg IngestConfig, sw ingest.Swapper) (*IngestPoller, error) {
+	return ingest.NewPoller(cfg, sw)
+}
+
+// NewIngestSource builds an advisory feed from a spec: "http(s)://..."
+// polls a URL serving the latest bulletin, anything else watches a
+// directory for *.txt advisory files.
+func NewIngestSource(spec string) (IngestSource, error) { return ingest.NewSource(spec) }
 
 // Experiments (paper reproduction harness).
 type (
