@@ -3,8 +3,8 @@ GO ?= go
 # BENCH_BASELINE / BENCH_NEW name the checked-in summaries the regression
 # gate compares; BENCH_THRESHOLD is the min-ns/op slowdown (percent) that
 # fails bench-compare.
-BENCH_BASELINE ?= BENCH_PR4.json
-BENCH_NEW ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_NEW ?= BENCH_PR7.json
 BENCH_THRESHOLD ?= 10
 
 .PHONY: tier1 tier2 fuzz-smoke bench bench-compare determinism
@@ -23,14 +23,22 @@ tier2: tier1
 	$(MAKE) fuzz-smoke
 
 # bench runs every benchmark three times and distills the text output into
-# $(BENCH_NEW) (per-benchmark min/mean ns/op plus the telemetry overhead
-# ratio from the EvaluateTelemetryOff/On pair — budget: <= 2%, see DESIGN.md).
-# The focused -count=10 pass tightens the noise floor on the overhead pair.
+# $(BENCH_NEW) (per-benchmark min/mean ns/op plus the tracing overhead
+# ratio from the RouteWithTracingOff/On pair — budget: <= 2% on the
+# full-compute route path, the PR 2 telemetry gate's shape; see DESIGN.md
+# §11). The focused -count=10 passes tighten the noise floor on both
+# overhead pairs (min ns/op converges to the true floor as count grows).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 ./... | tee bench.out
 	$(GO) test -run='^$$' -bench='EvaluateTelemetry' -count=10 -benchtime=0.5s ./internal/core | tee -a bench.out
+	# RouteTracingPaired interleaves traced/untraced batches inside one
+	# timer window and reports the overhead ratio itself — the only
+	# estimator that resolves a ~0.5µs delta on a noisy box (separately
+	# invoked Off/On minima swing by several percent either way).
+	$(GO) test -run='^$$' -bench='RouteTracingPaired' -count=5 -benchtime=1s ./internal/serve | tee -a bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_NEW) \
-		-overhead-off EvaluateTelemetryOff -overhead-on EvaluateTelemetryOn bench.out
+		-overhead-off RouteWithTracingOff -overhead-on RouteWithTracingOn \
+		-overhead-paired RouteTracingPaired bench.out
 	@rm -f bench.out
 
 # bench-compare diffs the new summary against the checked-in baseline and

@@ -8,6 +8,13 @@
 //	    go run ./cmd/benchjson -o BENCH_PR2.json \
 //	        -overhead-off EvaluateTelemetryOff -overhead-on EvaluateTelemetryOn
 //
+// When the off/on delta is too small for separately-invoked minima to
+// resolve (sub-microsecond costs on a shared box), -overhead-paired names a
+// benchmark that interleaves both variants inside one timer window and
+// publishes the ratio itself via b.ReportMetric(..., "overhead-pct"); that
+// self-reported figure then becomes telemetry_overhead.overhead_pct, with
+// the off/on minima kept alongside for reference.
+//
 // Input may also be given as file arguments. Lines that are not benchmark
 // results (package headers, PASS/ok, cpu info) are ignored.
 //
@@ -40,6 +47,11 @@ type result struct {
 	NsPerOpMean float64 `json:"ns_per_op_mean"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// OverheadPct carries a benchmark's self-reported "overhead-pct"
+	// custom metric (b.ReportMetric), averaged over repeated runs.
+	// Paired-interleave benchmarks use it to publish an off/on ratio
+	// measured inside one timer window.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 type overhead struct {
@@ -48,6 +60,11 @@ type overhead struct {
 	OffNsMin    float64 `json:"off_ns_per_op_min"`
 	OnNsMin     float64 `json:"on_ns_per_op_min"`
 	OverheadPct float64 `json:"overhead_pct"`
+	// PairedBench is set when -overhead-paired named a benchmark that
+	// measures the off/on delta in-loop; its self-reported ratio then
+	// overrides the min-of-separate-invocations quotient above, which
+	// cannot resolve sub-microsecond deltas on a noisy host.
+	PairedBench string `json:"paired_bench,omitempty"`
 }
 
 type summary struct {
@@ -62,6 +79,7 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	offName := flag.String("overhead-off", "", "baseline benchmark for the overhead ratio (substring match)")
 	onName := flag.String("overhead-on", "", "instrumented benchmark for the overhead ratio (substring match)")
+	pairedName := flag.String("overhead-paired", "", "benchmark whose self-reported overhead-pct metric overrides the off/on min quotient (substring match)")
 	compare := flag.Bool("compare", false, "compare two JSON summaries: benchjson -compare OLD NEW")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	flag.Parse()
@@ -101,6 +119,7 @@ func main() {
 				cur.Runs++
 				cur.Iterations += res.Iterations
 				cur.NsPerOpMean += res.NsPerOpMean
+				cur.OverheadPct += res.OverheadPct
 				if res.NsPerOpMin < cur.NsPerOpMin {
 					cur.NsPerOpMin = res.NsPerOpMin
 				}
@@ -140,6 +159,7 @@ func main() {
 	for _, name := range order {
 		r := *agg[name]
 		r.NsPerOpMean /= float64(r.Runs)
+		r.OverheadPct /= float64(r.Runs)
 		s.Benchmarks = append(s.Benchmarks, r)
 	}
 	if *offName != "" && *onName != "" {
@@ -153,6 +173,14 @@ func main() {
 			OffNsMin:    off.NsPerOpMin,
 			OnNsMin:     on.NsPerOpMin,
 			OverheadPct: 100 * (on.NsPerOpMin - off.NsPerOpMin) / off.NsPerOpMin,
+		}
+		if *pairedName != "" {
+			p := find(s.Benchmarks, *pairedName)
+			if p == nil {
+				fatal(fmt.Errorf("overhead-paired benchmark %q not found in results", *pairedName))
+			}
+			s.Overhead.PairedBench = p.Name
+			s.Overhead.OverheadPct = p.OverheadPct
 		}
 	}
 
@@ -202,6 +230,8 @@ func parseLine(line string) (result, bool) {
 			res.BytesPerOp = int64(v)
 		case "allocs/op":
 			res.AllocsPerOp = int64(v)
+		case "overhead-pct":
+			res.OverheadPct = v
 		}
 	}
 	return res, ok

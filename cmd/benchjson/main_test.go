@@ -28,6 +28,16 @@ func TestParseLine(t *testing.T) {
 		t.Errorf("parsed %+v ok=%v", res, ok)
 	}
 
+	// Paired-interleave benchmark publishing its own overhead ratio via
+	// ReportMetric; unknown units (delta-ns/req) are ignored.
+	res, ok = parseLine("BenchmarkRouteTracingPaired-8 	1844	 1384916 ns/op	 494.9 delta-ns/req	 2.314 overhead-pct")
+	if !ok || res.Name != "BenchmarkRouteTracingPaired" || res.OverheadPct != 2.314 {
+		t.Errorf("parsed %+v ok=%v", res, ok)
+	}
+	if res.NsPerOpMin != 1384916 {
+		t.Errorf("ns/op = %v alongside custom metrics", res.NsPerOpMin)
+	}
+
 	for _, line := range []string{
 		"ok  \triskroute/internal/core\t8.271s",
 		"PASS",

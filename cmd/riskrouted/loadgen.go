@@ -7,10 +7,11 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"riskroute"
 )
 
 // runLoadgen drives a running riskrouted with -clients concurrent clients
@@ -35,10 +36,13 @@ func runLoadgen(w io.Writer, o *options) error {
 	fmt.Fprintf(w, "loadgen: %d clients x %s against %s (%s, %d PoPs)\n",
 		o.clients, o.duration, base, o.lgNetwork, len(pops))
 
+	// Latencies accumulate into a shared concurrency-safe histogram; the
+	// percentiles below come from Histogram.Quantile — the same estimator
+	// the daemon's SLO engine uses — instead of a sorted sample slice.
 	var (
 		ok, throttled, failed atomic.Int64
-		mu                    sync.Mutex
-		latencies             []time.Duration
+		maxLatencyNS          atomic.Int64
+		latencies             = riskroute.NewHistogram(riskroute.LatencyBuckets())
 	)
 	deadline := time.Now().Add(o.duration)
 	var wg sync.WaitGroup
@@ -48,7 +52,6 @@ func runLoadgen(w io.Writer, o *options) error {
 			defer wg.Done()
 			// Per-client RNG: deterministic pair sequence per (seed, client).
 			rng := rand.New(rand.NewSource(int64(o.lgSeed) + int64(id)))
-			var local []time.Duration
 			for time.Now().Before(deadline) {
 				i := rng.Intn(len(pops))
 				j := rng.Intn(len(pops) - 1)
@@ -73,16 +76,20 @@ func runLoadgen(w io.Writer, o *options) error {
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					ok.Add(1)
-					local = append(local, time.Since(start))
+					dur := time.Since(start)
+					latencies.Observe(dur.Seconds())
+					for {
+						cur := maxLatencyNS.Load()
+						if int64(dur) <= cur || maxLatencyNS.CompareAndSwap(cur, int64(dur)) {
+							break
+						}
+					}
 				case resp.StatusCode == http.StatusTooManyRequests:
 					throttled.Add(1)
 				default:
 					failed.Add(1)
 				}
 			}
-			mu.Lock()
-			latencies = append(latencies, local...)
-			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
@@ -92,14 +99,13 @@ func runLoadgen(w io.Writer, o *options) error {
 		total, o.duration, float64(total)/o.duration.Seconds())
 	fmt.Fprintf(w, "loadgen: %d ok, %d throttled (429), %d failed\n",
 		ok.Load(), throttled.Load(), failed.Load())
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	if latencies.Count() > 0 {
 		q := func(p float64) time.Duration {
-			i := int(p * float64(len(latencies)-1))
-			return latencies[i].Round(time.Microsecond)
+			return time.Duration(latencies.Quantile(p) * float64(time.Second)).Round(time.Microsecond)
 		}
 		fmt.Fprintf(w, "loadgen: latency p50=%s p90=%s p99=%s max=%s\n",
-			q(0.50), q(0.90), q(0.99), latencies[len(latencies)-1].Round(time.Microsecond))
+			q(0.50), q(0.90), q(0.99),
+			time.Duration(maxLatencyNS.Load()).Round(time.Microsecond))
 	}
 	if failed.Load() > 0 {
 		return fmt.Errorf("loadgen: %d requests failed", failed.Load())

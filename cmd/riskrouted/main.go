@@ -9,7 +9,10 @@
 //	curl 'localhost:8080/v1/route?network=Level3&from=Houston&to=Boston'   # re-priced
 //
 // Endpoints: /v1/route, /v1/ratio, /v1/pops, /v1/risk, /v1/advisory
-// (GET current, POST ingest), /v1/healthz, /v1/readyz.
+// (GET current, POST ingest), /v1/healthz, /v1/readyz, /v1/ingest,
+// /v1/generations (swap timeline), /v1/slo (burn rates), /metrics
+// (Prometheus exposition), /debug/requests (tail-sampled slow/errored
+// requests). Every response carries an X-Request-Id header.
 //
 // The daemon doubles as its own load generator:
 //
@@ -56,6 +59,13 @@ type options struct {
 	drainTO     time.Duration
 	cacheSize   int
 
+	debugAddr     string
+	reqIDSeed     uint64
+	slowRequest   time.Duration
+	sloLatency    time.Duration
+	sloLatencyTgt float64
+	sloErrorTgt   float64
+
 	advisoryFeed     string
 	journalDir       string
 	pollInterval     time.Duration
@@ -90,6 +100,12 @@ func run(args []string) error {
 	fs.DurationVar(&o.requestTO, "request-timeout", 15*time.Second, "per-request deadline")
 	fs.DurationVar(&o.drainTO, "drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	fs.IntVar(&o.cacheSize, "cache-size", 4096, "result cache entries (negative disables)")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve pprof/expvar/metrics on a second listener (host:port; empty disables)")
+	fs.Uint64Var(&o.reqIDSeed, "reqid-seed", 0, "request-ID generator seed (non-zero pins the exact ID sequence; 0 randomizes)")
+	fs.DurationVar(&o.slowRequest, "slow-request", 250*time.Millisecond, "tail-sample successful requests at least this slow into /debug/requests")
+	fs.DurationVar(&o.sloLatency, "slo-latency", 100*time.Millisecond, "SLO latency objective: requests slower than this burn the latency budget")
+	fs.Float64Var(&o.sloLatencyTgt, "slo-latency-target", 0.99, "fraction of requests that must beat -slo-latency")
+	fs.Float64Var(&o.sloErrorTgt, "slo-error-target", 0.999, "availability objective: fraction of requests that must not 5xx")
 	fs.StringVar(&o.advisoryFeed, "advisory-feed", "", "continuous advisory feed: a directory of *.txt bulletins or an http(s) URL (requires -journal-dir)")
 	fs.StringVar(&o.journalDir, "journal-dir", "", "advisory write-ahead journal directory; set alone to replay a journal at boot without polling")
 	fs.DurationVar(&o.pollInterval, "poll-interval", 10*time.Second, "healthy-feed poll cadence")
@@ -208,13 +224,29 @@ func serveDaemon(o *options, fs *flag.FlagSet) error {
 		QueueTimeout:   o.queueTO,
 		RequestTimeout: o.requestTO,
 		CacheSize:      o.cacheSize,
-		Metrics:        reg,
-		Trace:          trace,
-		Logger:         logger,
-		Health:         health,
+		RequestIDSeed:  o.reqIDSeed,
+		SlowRequest:    o.slowRequest,
+		SLO: riskroute.SLOConfig{
+			LatencyObjective: o.sloLatency,
+			LatencyTarget:    o.sloLatencyTgt,
+			ErrorTarget:      o.sloErrorTgt,
+		},
+		Metrics: reg,
+		Trace:   trace,
+		Logger:  logger,
+		Health:  health,
 	})
 	if err != nil {
 		return err
+	}
+
+	if o.debugAddr != "" {
+		dbg, err := riskroute.ServeDebug(o.debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("riskrouted: debug listener on http://%s (pprof, expvar, /metrics)\n", dbg.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

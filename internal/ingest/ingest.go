@@ -56,6 +56,14 @@ type Swapper interface {
 	Generation() uint64
 }
 
+// timedSwapper is the optional Swapper extension the serving layer
+// implements: the poller hands over how long validation took so the swap
+// timeline (/v1/generations) can report the full parse/rebuild/swap
+// breakdown. Swappers without it (test fakes) get plain ApplyParsed.
+type timedSwapper interface {
+	ApplyParsedTimed(adv *forecast.Advisory, parseDur time.Duration) (uint64, error)
+}
+
 // Config tunes a Poller.
 type Config struct {
 	// Source is the advisory feed; nil builds a recovery-only poller
@@ -254,7 +262,9 @@ func (p *Poller) Recover() (int, error) {
 	defer span.End()
 	applied := 0
 	for _, rec := range p.recovered {
+		parseStart := time.Now()
 		adv, err := forecast.ValidateAdvisory(rec.Text)
+		parseDur := time.Since(parseStart)
 		if err != nil {
 			p.quarantineItem(rec.Text, fmt.Sprintf("replay seq %d: validate: %v", rec.Seq, err), err)
 			continue
@@ -263,7 +273,7 @@ func (p *Poller) Recover() (int, error) {
 			p.count(&p.duplicates, p.tel.duplicates)
 			continue
 		}
-		gen, err := p.applySwap(adv, rec.Seq)
+		gen, err := p.applySwap(adv, rec.Seq, parseDur)
 		if err != nil {
 			p.quarantineItem(rec.Text, fmt.Sprintf("replay seq %d: swap: %v", rec.Seq, err), err)
 			continue
@@ -371,7 +381,9 @@ func (p *Poller) ingestOne(text string) {
 	if dropped {
 		return // the feed never delivered this item
 	}
+	parseStart := time.Now()
 	adv, err := forecast.ValidateAdvisory(text)
+	parseDur := time.Since(parseStart)
 	if err != nil {
 		p.quarantineItem(text, fmt.Sprintf("validate: %v", err), err)
 		return
@@ -394,7 +406,7 @@ func (p *Poller) ingestOne(text string) {
 		return
 	}
 
-	gen, err := p.applySwap(adv, seq)
+	gen, err := p.applySwap(adv, seq, parseDur)
 	if err != nil {
 		p.quarantineItem(text, fmt.Sprintf("swap (journal seq %d): %v", seq, err), err)
 		return
@@ -411,7 +423,7 @@ func (p *Poller) ingestOne(text string) {
 // identically at boot). A recovered panic becomes a typed DegradedError; a
 // world that fails post-publish verification is rolled back by
 // republishing the last good snapshot under a fresh generation.
-func (p *Poller) applySwap(adv *forecast.Advisory, seq uint64) (gen uint64, err error) {
+func (p *Poller) applySwap(adv *forecast.Advisory, seq uint64, parseDur time.Duration) (gen uint64, err error) {
 	before := p.swapper.Generation()
 	defer func() {
 		if r := recover(); r != nil {
@@ -430,7 +442,11 @@ func (p *Poller) applySwap(adv *forecast.Advisory, seq uint64) (gen uint64, err 
 	if ierr := p.cfg.Injector.ForcedError(resilience.PointIngestSwap, seq); ierr != nil {
 		return before, ierr
 	}
-	gen, err = p.swapper.ApplyParsed(adv)
+	if ts, ok := p.swapper.(timedSwapper); ok {
+		gen, err = ts.ApplyParsedTimed(adv, parseDur)
+	} else {
+		gen, err = p.swapper.ApplyParsed(adv)
+	}
 	if err != nil {
 		return gen, err
 	}

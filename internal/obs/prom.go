@@ -1,0 +1,228 @@
+package obs
+
+// Prometheus text exposition, hand-rolled and dependency-free. WriteProm
+// renders a Snapshot in exposition format 0.0.4 — the format every
+// Prometheus-compatible scraper (Prometheus, VictoriaMetrics, Grafana
+// Agent, vmagent) ingests — and ParseProm reads that text back for
+// conformance tests and smoke probes.
+//
+// # Name mapping
+//
+// The registry's dotted lowercase scheme maps to Prometheus names by
+// replacing every character outside [a-zA-Z0-9_:] with '_':
+//
+//	serve.requests_total.route   ->  serve_requests_total_route
+//	runtime.heap_alloc_bytes     ->  runtime_heap_alloc_bytes
+//
+// The mapping is injective over the registry's naming discipline (dots are
+// the only separator in use); if two raw names ever collided after
+// sanitization, the lexicographically first raw name would win and the
+// duplicate would be dropped, keeping the output valid and deterministic.
+//
+// # Determinism
+//
+// Families are emitted in sorted order by exposition name, histogram
+// buckets ascending with the cumulative +Inf bucket last, and every float
+// is rendered with strconv's shortest round-trip formatting — so a fixed
+// Snapshot always serializes to the same bytes. The golden-file test pins
+// this byte-for-byte.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of exposition format 0.0.4.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a Prometheus name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way the exposition format expects:
+// shortest round-trip decimal, with +Inf/-Inf/NaN spelled Prometheus-style.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily is one metric family staged for emission.
+type promFamily struct {
+	name string
+	kind string // "counter", "gauge", "histogram"
+	emit func(w *bufio.Writer, name string)
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format
+// 0.0.4: a # TYPE line per family, samples sorted by family name,
+// histogram buckets cumulative with an explicit +Inf bucket plus _sum and
+// _count series. Output is byte-deterministic for a fixed snapshot.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	fams := make([]promFamily, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for _, raw := range sortedKeys(s.Counters) {
+		v := s.Counters[raw]
+		fams = append(fams, promFamily{name: promName(raw), kind: "counter",
+			emit: func(w *bufio.Writer, name string) {
+				fmt.Fprintf(w, "%s %d\n", name, v)
+			}})
+	}
+	for _, raw := range sortedKeys(s.Gauges) {
+		v := s.Gauges[raw]
+		fams = append(fams, promFamily{name: promName(raw), kind: "gauge",
+			emit: func(w *bufio.Writer, name string) {
+				fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+			}})
+	}
+	for _, raw := range sortedKeys(s.Histograms) {
+		h := s.Histograms[raw]
+		fams = append(fams, promFamily{name: promName(raw), kind: "histogram",
+			emit: func(w *bufio.Writer, name string) {
+				var cum int64
+				for i, bound := range h.Bounds {
+					cum += h.Counts[i]
+					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+				}
+				if len(h.Counts) == len(h.Bounds)+1 {
+					cum += h.Counts[len(h.Bounds)]
+				}
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+				fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum))
+				fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+			}})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, f := range fams {
+		if f.name == prev {
+			continue // sanitization collision: first (sorted) family wins
+		}
+		prev = f.name
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		f.emit(bw, f.name)
+	}
+	return bw.Flush()
+}
+
+// PromHandler serves the registry in exposition format 0.0.4, capturing
+// the Go runtime's vital signs fresh on every scrape. A nil registry
+// serves an empty (but valid) page.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		CaptureRuntime(r)
+		w.Header().Set("Content-Type", PromContentType)
+		r.Snapshot().WriteProm(w)
+	})
+}
+
+// PromSample is one parsed sample line: the series name with its le label
+// split out (histogram buckets are the only labeled series this package
+// emits).
+type PromSample struct {
+	Name  string // full series name, e.g. "x_seconds_bucket"
+	Le    string // the le label's value, "" when unlabeled
+	Value float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Type    string // counter, gauge, histogram
+	Samples []PromSample
+}
+
+// ParseProm reads text exposition format back into families keyed by
+// family name — a deliberately minimal parser (exactly the subset WriteProm
+// emits: # TYPE comments, optional {le="..."} label, float values) used by
+// the conformance tests and serve smoke probes to assert round-trip
+// fidelity.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				fams[fields[2]] = &PromFamily{Type: fields[3]}
+			}
+			continue // HELP and arbitrary comments are ignored
+		}
+		series := line
+		var le string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("prom parse: line %d: unterminated label set", lineNo)
+			}
+			series = line[:i] + line[j+1:]
+			for _, lbl := range strings.Split(line[i+1:j], ",") {
+				k, v, ok := strings.Cut(lbl, "=")
+				if !ok {
+					return nil, fmt.Errorf("prom parse: line %d: bad label %q", lineNo, lbl)
+				}
+				if k == "le" {
+					le = strings.Trim(v, `"`)
+				}
+			}
+		}
+		fields := strings.Fields(series)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("prom parse: line %d: want 'name value', got %q", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("prom parse: line %d: bad value %q", lineNo, fields[1])
+		}
+		fam := fams[famNameOf(fields[0])]
+		if fam == nil {
+			// A series without a preceding TYPE line: track it untyped so
+			// round-trip checks still see every sample.
+			fam = &PromFamily{Type: "untyped"}
+			fams[famNameOf(fields[0])] = fam
+		}
+		fam.Samples = append(fam.Samples, PromSample{Name: fields[0], Le: le, Value: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// famNameOf maps a series name back to its family: histogram series carry
+// _bucket/_sum/_count suffixes, everything else is its own family.
+func famNameOf(series string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(series, suffix); ok && base != "" {
+			return base
+		}
+	}
+	return series
+}

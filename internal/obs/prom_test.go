@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenSnapshot is the fixed snapshot the conformance test serializes. It
+// exercises every family kind, name sanitization, float formatting, and the
+// overflow bucket.
+func goldenSnapshot() Snapshot {
+	return Snapshot{
+		Counters: map[string]int64{
+			"serve.requests_total.route": 12345,
+			"serve.errors_total":         7,
+			"ingest.applied_total":       0,
+		},
+		Gauges: map[string]float64{
+			"runtime.goroutines":       42,
+			"serve.cache.hit_ratio":    0.875,
+			"slo.error.burn_rate.5m":   14.4,
+			"runtime.heap_alloc_bytes": 1.5e7,
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"serve.request_seconds.route": {
+				Count:  10,
+				Sum:    0.625,
+				Bounds: []float64{0.001, 0.01, 0.1, 1},
+				Counts: []int64{2, 3, 4, 0, 1}, // last entry: overflow > 1s
+			},
+			"ingest.batch_size": {
+				Count:  0,
+				Sum:    0,
+				Bounds: []float64{1, 10},
+				Counts: []int64{0, 0, 0},
+			},
+		},
+	}
+}
+
+// TestPromGolden pins WriteProm's output byte-for-byte against the checked-in
+// golden file. Regenerate deliberately with -update-golden after an
+// intentional format change.
+func TestPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition output diverged from golden file\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPromDeterministic asserts the byte-determinism acceptance criterion
+// directly: the same snapshot serializes identically every time.
+func TestPromDeterministic(t *testing.T) {
+	snap := goldenSnapshot()
+	var a, b bytes.Buffer
+	if err := snap.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Reset()
+		if err := snap.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("write %d produced different bytes", i)
+		}
+	}
+}
+
+// TestPromRoundTrip feeds WriteProm's output through ParseProm and checks
+// every family, type, bucket, and value survives.
+func TestPromRoundTrip(t *testing.T) {
+	snap := goldenSnapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFams := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
+	if len(fams) != wantFams {
+		t.Fatalf("parsed %d families, want %d", len(fams), wantFams)
+	}
+	for raw, v := range snap.Counters {
+		fam := fams[promName(raw)]
+		if fam == nil || fam.Type != "counter" {
+			t.Fatalf("counter %s: family %+v", raw, fam)
+		}
+		if len(fam.Samples) != 1 || fam.Samples[0].Value != float64(v) {
+			t.Errorf("counter %s samples = %+v, want value %d", raw, fam.Samples, v)
+		}
+	}
+	for raw, v := range snap.Gauges {
+		fam := fams[promName(raw)]
+		if fam == nil || fam.Type != "gauge" {
+			t.Fatalf("gauge %s: family %+v", raw, fam)
+		}
+		if len(fam.Samples) != 1 || fam.Samples[0].Value != v {
+			t.Errorf("gauge %s samples = %+v, want value %v", raw, fam.Samples, v)
+		}
+	}
+	for raw, h := range snap.Histograms {
+		name := promName(raw)
+		fam := fams[name]
+		if fam == nil || fam.Type != "histogram" {
+			t.Fatalf("histogram %s: family %+v", raw, fam)
+		}
+		// len(Bounds) finite buckets + +Inf + _sum + _count.
+		if want := len(h.Bounds) + 3; len(fam.Samples) != want {
+			t.Fatalf("histogram %s: %d samples, want %d", raw, len(fam.Samples), want)
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			s := fam.Samples[i]
+			if s.Name != name+"_bucket" || s.Le != promFloat(bound) || s.Value != float64(cum) {
+				t.Errorf("histogram %s bucket %d = %+v, want le=%v cum=%d", raw, i, s, bound, cum)
+			}
+		}
+		inf := fam.Samples[len(h.Bounds)]
+		if inf.Le != "+Inf" || inf.Value != float64(h.Count) {
+			t.Errorf("histogram %s +Inf bucket = %+v, want count %d", raw, inf, h.Count)
+		}
+		sum := fam.Samples[len(h.Bounds)+1]
+		if sum.Name != name+"_sum" || math.Abs(sum.Value-h.Sum) > 1e-12 {
+			t.Errorf("histogram %s sum = %+v, want %v", raw, sum, h.Sum)
+		}
+		count := fam.Samples[len(h.Bounds)+2]
+		if count.Name != name+"_count" || count.Value != float64(h.Count) {
+			t.Errorf("histogram %s count = %+v, want %d", raw, count, h.Count)
+		}
+	}
+}
+
+func TestPromBucketsCumulativeFromLiveRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99) // overflow
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="1"} 1`,
+		`x_seconds_bucket{le="2"} 2`,
+		`x_seconds_bucket{le="+Inf"} 3`,
+		`x_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"serve.requests_total.route", "serve_requests_total_route"},
+		{"a:b", "a:b"},
+		{"9lives", "_9lives"},
+		{"x-y z", "x_y_z"},
+		{"UPPER.ok", "UPPER_ok"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Inc()
+	rec := httptest.NewRecorder()
+	PromHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "hits_total 1\n") {
+		t.Fatalf("body missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "runtime_goroutines") {
+		t.Fatalf("body missing runtime capture:\n%s", body)
+	}
+	// Nil registry: valid empty page, no panic.
+	rec = httptest.NewRecorder()
+	PromHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil registry status = %d", rec.Code)
+	}
+}
+
+func BenchmarkPromExposition(b *testing.B) {
+	// A registry shaped like the serving daemon's: per-endpoint counters and
+	// latency histograms plus runtime gauges.
+	r := NewRegistry()
+	endpoints := []string{"route", "risk", "ratio", "pops", "healthz", "advisory", "ingest"}
+	for _, ep := range endpoints {
+		c := r.Counter("serve.requests_total." + ep)
+		h := r.Histogram("serve.request_seconds."+ep, LatencyBuckets())
+		for i := 0; i < 100; i++ {
+			c.Inc()
+			h.Observe(float64(i) * 0.0001)
+		}
+	}
+	CaptureRuntime(r)
+	snap := r.Snapshot()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := snap.WriteProm(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

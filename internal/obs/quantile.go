@@ -1,0 +1,70 @@
+package obs
+
+// Histogram quantile estimation by linear interpolation within the bucket —
+// the same estimator Prometheus's histogram_quantile uses, promoted here so
+// the load generator, the SLO engine, and offline reports all share one
+// implementation (and one set of unit tests) instead of ad-hoc sorted-slice
+// percentiles.
+
+// Quantile estimates the p-quantile (p in [0, 1]) of the recorded
+// distribution. The estimator assumes observations are uniformly spread
+// inside each bucket: with rank r = p*count landing in bucket i, the
+// estimate interpolates linearly between the bucket's lower and upper
+// bounds. The first bucket's lower bound is 0 (the metrics here — seconds,
+// bytes, counts — are non-negative); ranks landing in the overflow bucket
+// clamp to the last finite bound, mirroring Prometheus. A histogram with no
+// observations returns 0. p outside [0, 1] is clamped.
+func (h HistogramSnapshot) Quantile(p float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			break // overflow bucket: clamp to the last finite bound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Quantile estimates the p-quantile of the live histogram (0 on nil): a
+// point-in-time bucket copy fed through HistogramSnapshot.Quantile.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	hs := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs.Quantile(p)
+}
+
+// NewHistogram returns a standalone histogram with the given bucket bounds
+// (sorted ascending), for callers that want a concurrency-safe distribution
+// without a registry — the load generator records latencies into one and
+// reads percentiles back through Quantile.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }

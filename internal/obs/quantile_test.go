@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// almostEq allows for float rounding in interpolation arithmetic.
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQuantileUniform(t *testing.T) {
+	// 100 observations uniform over (0, 100]: one lands in each unit...
+	// with decade bounds each bucket's count is known exactly, so the
+	// interpolated quantiles are computable by hand.
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 50}, // rank 50 = bucket (40,50] filled exactly
+		{0.90, 90},
+		{0.99, 99},
+		{1.00, 100},
+		{0.25, 25},
+		{0.0, 0}, // rank 0 interpolates to the first bucket's lower bound
+	} {
+		if got := h.Quantile(tc.p); !almostEq(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	// All 4 observations in the (1, 2] bucket: p=0.5 -> rank 2 -> halfway.
+	h := NewHistogram([]float64{1, 2, 3})
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); !almostEq(got, 1.5) {
+		t.Fatalf("Quantile(0.5) = %v, want 1.5", got)
+	}
+	if got := h.Quantile(0.25); !almostEq(got, 1.25) {
+		t.Fatalf("Quantile(0.25) = %v, want 1.25", got)
+	}
+}
+
+func TestQuantileOverflowClampsToLastBound(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(50) // overflow bucket
+	if got := h.Quantile(1.0); got != 2 {
+		t.Fatalf("Quantile(1.0) with overflow = %v, want last bound 2", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v", got)
+	}
+	empty := NewHistogram([]float64{1, 2})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v", got)
+	}
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	if got := h.Quantile(2.0); !almostEq(got, 1) { // p clamped to 1
+		t.Fatalf("Quantile(2.0) = %v, want 1", got)
+	}
+	if got := h.Quantile(-1); !almostEq(got, 0) { // p clamped to 0
+		t.Fatalf("Quantile(-1) = %v, want 0", got)
+	}
+}
+
+func TestQuantileSnapshotMatchesLive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.2, 0.3, 0.7, 2.5} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["x_seconds"]
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if live, frozen := h.Quantile(p), snap.Quantile(p); !almostEq(live, frozen) {
+			t.Errorf("p=%v: live %v != snapshot %v", p, live, frozen)
+		}
+	}
+}

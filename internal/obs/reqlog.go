@@ -1,0 +1,102 @@
+package obs
+
+// Tail-sampled request log: a bounded in-memory ring of the requests worth
+// looking at (slow ones, errored ones), in the spirit of net/trace's
+// /debug/requests page. The serving layer decides what to sample; the ring
+// just retains the most recent N records and renders them newest-first for
+// the debug endpoint. A nil *ReqRing ignores all operations.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ReqRecord is one sampled request.
+type ReqRecord struct {
+	ID         string        `json:"id"`
+	Time       time.Time     `json:"time"`
+	Method     string        `json:"method"`
+	Path       string        `json:"path"`
+	Status     int           `json:"status"`
+	Generation uint64        `json:"generation"`
+	CacheHit   bool          `json:"cache_hit"`
+	QueueWait  time.Duration `json:"queue_wait_ns"`
+	Duration   time.Duration `json:"duration_ns"`
+}
+
+// ReqRing retains the last N sampled requests.
+type ReqRing struct {
+	mu   sync.Mutex
+	recs []ReqRecord
+	next int
+	full bool
+}
+
+// DefaultReqRecords is the ring size NewReqRing uses for n == 0.
+const DefaultReqRecords = 128
+
+// NewReqRing returns a ring holding the last n records (n == 0 uses
+// DefaultReqRecords; n < 0 returns nil, disabling sampling).
+func NewReqRing(n int) *ReqRing {
+	if n < 0 {
+		return nil
+	}
+	if n == 0 {
+		n = DefaultReqRecords
+	}
+	return &ReqRing{recs: make([]ReqRecord, n)}
+}
+
+// Add records one request (no-op on nil).
+func (r *ReqRing) Add(rec ReqRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recs[r.next] = rec
+	r.next = (r.next + 1) % len(r.recs)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Records returns the retained records, oldest first (nil on a nil ring).
+func (r *ReqRing) Records() []ReqRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ReqRecord
+	if r.full {
+		out = append(out, r.recs[r.next:]...)
+	}
+	return append(out, r.recs[:r.next]...)
+}
+
+// WriteText renders the retained records newest first, one per line —
+// the /debug/requests page.
+func (r *ReqRing) WriteText(w io.Writer) error {
+	recs := r.Records()
+	if _, err := fmt.Fprintf(w, "%d sampled requests (newest first)\n", len(recs)); err != nil {
+		return err
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		hit := "miss"
+		if rec.CacheHit {
+			hit = "hit"
+		}
+		_, err := fmt.Fprintf(w, "%s %3d %-4s %-20s id=%s gen=%d cache=%s queue=%s dur=%s\n",
+			rec.Time.UTC().Format(time.RFC3339Nano), rec.Status, rec.Method, rec.Path,
+			rec.ID, rec.Generation, hit,
+			rec.QueueWait.Round(time.Microsecond), rec.Duration.Round(time.Microsecond))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -119,6 +119,7 @@ var (
 //	/debug/vars    expvar (including the registry under "riskroute_metrics")
 //	/debug/pprof/  the full net/http/pprof surface
 //	/telemetry     the registry as JSON, with runtime stats captured fresh
+//	/metrics       the registry in Prometheus exposition format 0.0.4
 //
 // The listener runs until Close. It is deliberately not started anywhere by
 // default — production paths must opt in (the CLI gates it behind
@@ -142,6 +143,7 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/metrics", PromHandler(r))
 	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
 		CaptureRuntime(r)
 		w.Header().Set("Content-Type", "application/json")

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"riskroute/internal/obs"
 )
 
 // admit wraps a compute handler with the admission-control policy:
@@ -23,10 +25,14 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 			// Fast path: a slot was free.
 		default:
+			waitStart := time.Now()
 			timer := time.NewTimer(s.cfg.QueueTimeout)
 			select {
 			case s.sem <- struct{}{}:
 				timer.Stop()
+				if rs := obs.ReqScopeFrom(r.Context()); rs != nil {
+					rs.QueueWait = time.Since(waitStart)
+				}
 			case <-timer.C:
 				s.tel.rejected.Inc()
 				w.Header().Set("Retry-After", retryAfter)

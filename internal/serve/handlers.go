@@ -28,14 +28,24 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/route", s.instrument("route", s.admit(s.handleRoute)))
 	mux.HandleFunc("/v1/ratio", s.instrument("ratio", s.admit(s.handleRatio)))
 	mux.HandleFunc("/v1/advisory", s.instrument("advisory", s.handleAdvisory))
-	mux.HandleFunc("/v1/ingest", s.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("/v1/ingest", s.instrument("ingest", s.statusHandler(s.ingestDoc)))
+	mux.HandleFunc("/v1/generations", s.instrument("generations", s.statusHandler(s.generationsDoc)))
+	mux.HandleFunc("/v1/slo", s.instrument("slo", s.statusHandler(s.sloDoc)))
+	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	return mux
 }
 
-// statusWriter records the status code a handler wrote.
+// statusWriter records the status code a handler wrote. The traced
+// middleware and instrument share it, along with one wall-clock pair per
+// request: traced stamps start on the way in, instrument stamps end on the
+// way out, and each reuses the other's reading instead of calling time.Now
+// again.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	start  time.Time // stamped by traced; zero when the request skipped it
+	end    time.Time // stamped by instrument; zero when the endpoint is uninstrumented
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -53,11 +63,23 @@ func (s *Server) instrument(name string, next http.HandlerFunc) http.HandlerFunc
 		seconds = s.cfg.Metrics.Histogram("serve.request_seconds."+name, obs.LatencyBuckets())
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// The traced middleware already wraps the response; share its status
+		// recorder instead of stacking a second write indirection on it, and
+		// reuse its start stamp so a traced request reads the clock twice,
+		// not four times.
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		}
+		start := sw.start
+		if start.IsZero() {
+			start = time.Now()
+		}
 		next(sw, r)
+		end := time.Now()
+		sw.end = end
 		requests.Inc()
-		seconds.Observe(time.Since(start).Seconds())
+		seconds.Observe(end.Sub(start).Seconds())
 		// 429 (load shed) and 499 (client abandoned its own request) are
 		// shaped by the client or the admission policy, not by a serving
 		// fault — counting them in errors_total would page operators for
@@ -78,6 +100,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// statusHandler adapts a status-document source into a handler: the shared
+// JSON encoding path for every endpoint that reports subsystem state
+// (/v1/ingest, /v1/generations, /v1/slo). The doc callback returns the
+// document and its HTTP status; error documents use the same
+// {"error": ...} shape as writeError.
+func (s *Server) statusHandler(doc func(r *http.Request) (any, int)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v, status := doc(r)
+		s.writeJSON(w, status, v)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -167,6 +201,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snap.Load()
+	scopeGeneration(r, snap.gen)
 	st := s.lookupNet(w, r, snap)
 	if st == nil {
 		return
@@ -188,6 +223,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		src: src, dst: dst, lambdaH: params.LambdaH, lambdaF: params.LambdaF}
 	if v, ok := s.cache.Get(key); ok {
 		s.tel.cacheHits.Inc()
+		scopeCacheHit(r, true)
 		resp := *v.(*routeResponse)
 		resp.Cached = true
 		s.writeJSON(w, http.StatusOK, resp)
@@ -261,6 +297,7 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snap.Load()
+	scopeGeneration(r, snap.gen)
 	st := s.lookupNet(w, r, snap)
 	if st == nil {
 		return
@@ -274,6 +311,7 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		src: -1, dst: -1, lambdaH: params.LambdaH, lambdaF: params.LambdaF}
 	if v, ok := s.cache.Get(key); ok {
 		s.tel.cacheHits.Inc()
+		scopeCacheHit(r, true)
 		resp := *v.(*ratioResponse)
 		resp.Cached = true
 		s.writeJSON(w, http.StatusOK, resp)
@@ -302,6 +340,7 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePoPs(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
+	scopeGeneration(r, snap.gen)
 	name := r.URL.Query().Get("network")
 	if name == "" {
 		type netInfo struct {
@@ -343,6 +382,7 @@ func (s *Server) handlePoPs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
+	scopeGeneration(r, snap.gen)
 	st := s.lookupNet(w, r, snap)
 	if st == nil {
 		return
@@ -427,17 +467,46 @@ func (s *Server) handleAdvisory(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleIngest serves the continuous-ingestion lifecycle document. Until a
+// ingestDoc serves the continuous-ingestion lifecycle document. Until a
 // poller is attached (the daemon was started without an advisory feed or
 // journal), it answers 404 so probes can tell "no ingestion configured"
 // from "ingestion stuck".
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) ingestDoc(r *http.Request) (any, int) {
 	fn := s.ingestStatus.Load()
 	if fn == nil {
-		s.writeError(w, http.StatusNotFound, "no advisory ingestion attached (start with -advisory-feed / -journal-dir)")
-		return
+		return map[string]string{"error": "no advisory ingestion attached (start with -advisory-feed / -journal-dir)"},
+			http.StatusNotFound
 	}
-	s.writeJSON(w, http.StatusOK, (*fn)())
+	return (*fn)(), http.StatusOK
+}
+
+// generationsDoc serves the swap timeline: one event per published
+// generation with the parse/rebuild/swap breakdown.
+func (s *Server) generationsDoc(r *http.Request) (any, int) {
+	return map[string]any{
+		"generation": s.Generation(),
+		"events":     s.timeline.events(),
+	}, http.StatusOK
+}
+
+// sloDoc serves the burn-rate engine's report.
+func (s *Server) sloDoc(r *http.Request) (any, int) {
+	return s.slo.Snapshot(), http.StatusOK
+}
+
+// handleMetrics serves the registry in Prometheus exposition format 0.0.4.
+// The SLO snapshot runs first so the burn-rate gauges a scrape reads are
+// current as of that scrape, not the last /v1/slo hit.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.slo.Snapshot()
+	obs.PromHandler(s.cfg.Metrics).ServeHTTP(w, r)
+}
+
+// handleDebugRequests renders the tail-sampled request ring as text, newest
+// first — the daemon's net/trace-style "what went wrong recently" page.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reqs.WriteText(w)
 }
 
 func advisoryInfoOf(gen uint64, a *forecast.Advisory) advisoryInfo {

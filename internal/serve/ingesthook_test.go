@@ -14,7 +14,7 @@ func TestIngestEndpoint(t *testing.T) {
 	s := &Server{}
 
 	rec := httptest.NewRecorder()
-	s.handleIngest(rec, httptest.NewRequest(http.MethodGet, "/v1/ingest", nil))
+	s.statusHandler(s.ingestDoc)(rec, httptest.NewRequest(http.MethodGet, "/v1/ingest", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("unattached: %d, want 404", rec.Code)
 	}
@@ -26,7 +26,7 @@ func TestIngestEndpoint(t *testing.T) {
 		return map[string]any{"breaker": "closed", "accepted": 7}
 	})
 	rec = httptest.NewRecorder()
-	s.handleIngest(rec, httptest.NewRequest(http.MethodGet, "/v1/ingest", nil))
+	s.statusHandler(s.ingestDoc)(rec, httptest.NewRequest(http.MethodGet, "/v1/ingest", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("attached: %d, want 200", rec.Code)
 	}

@@ -80,6 +80,28 @@ type Config struct {
 	// negative disables caching).
 	CacheSize int
 
+	// RequestIDSeed seeds the request-ID generator: non-zero pins the exact
+	// ID sequence (deterministic for tests and replay), 0 randomizes it.
+	RequestIDSeed uint64
+	// SlowRequest is the tail-sampling threshold: requests at least this
+	// slow land in the /debug/requests ring even when they succeed
+	// (default 250ms). Errored requests are always sampled.
+	SlowRequest time.Duration
+	// RequestLogSize caps the /debug/requests ring (0 = 128 records,
+	// negative disables sampling).
+	RequestLogSize int
+	// TimelineSize caps the /v1/generations event log (0 = 256 events,
+	// negative disables it).
+	TimelineSize int
+	// SLO tunes the burn-rate engine behind /v1/slo; the zero value uses
+	// the obs package defaults (100ms @ 99%, 99.9% availability, 5m/1h
+	// windows), with SLO.Metrics defaulting to Config.Metrics.
+	SLO obs.SLOConfig
+	// DisableTracing removes the request-tracing middleware entirely — no
+	// request IDs, access log, SLO accounting, or tail sampling. Benchmarks
+	// use it to price the middleware; production keeps it on.
+	DisableTracing bool
+
 	// Observability and fault injection (all optional, nil-safe).
 	Metrics  *obs.Registry
 	Trace    *obs.Span
@@ -115,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
+	}
+	if c.SlowRequest <= 0 {
+		c.SlowRequest = 250 * time.Millisecond
 	}
 	return c
 }
@@ -178,6 +203,7 @@ type serveObs struct {
 	swaps       *obs.Counter   // serve.swaps_total
 	swapSeconds *obs.Histogram // serve.swap_seconds
 	generation  *obs.Gauge     // serve.generation
+	reqSeconds  *obs.Histogram // serve.request_seconds.all (traced middleware)
 }
 
 func newServeObs(r *obs.Registry) serveObs {
@@ -193,6 +219,7 @@ func newServeObs(r *obs.Registry) serveObs {
 		swaps:       r.Counter("serve.swaps_total"),
 		swapSeconds: r.Histogram("serve.swap_seconds", obs.LatencyBuckets()),
 		generation:  r.Gauge("serve.generation"),
+		reqSeconds:  r.Histogram("serve.request_seconds.all", obs.LatencyBuckets()),
 	}
 }
 
@@ -222,7 +249,14 @@ type Server struct {
 	// poller's lifecycle document.
 	ingestStatus atomic.Pointer[func() any]
 
-	mux *http.ServeMux
+	// Request tracing and the serving timeline (nil-safe pieces).
+	ids      *obs.RequestIDs
+	slo      *obs.SLO
+	reqs     *obs.ReqRing
+	timeline *timeline
+
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in tracing middleware (or bare mux)
 }
 
 // New builds the serving world: it fits the hazard surfaces, generates the
@@ -287,7 +321,9 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	build := warm.Child("engine-build")
+	buildStart := time.Now()
 	snap, err := s.buildSnapshot(1, nil, build)
+	buildSeconds := time.Since(buildStart).Seconds()
 	build.End()
 	if err != nil {
 		return nil, err
@@ -297,7 +333,30 @@ func New(cfg Config) (*Server, error) {
 
 	s.sem = make(chan struct{}, cfg.MaxInFlight)
 	s.cache = newLRU(cfg.CacheSize)
+	s.ids = obs.NewRequestIDs(cfg.RequestIDSeed)
+	sloCfg := cfg.SLO
+	if sloCfg.Metrics == nil {
+		sloCfg.Metrics = cfg.Metrics
+	}
+	if sloCfg.LatencyHistogram == nil && s.tel.reqSeconds != nil {
+		// Share the all-requests latency histogram so the traced hot path
+		// observes each request's duration exactly once.
+		sloCfg.LatencyHistogram = s.tel.reqSeconds
+	}
+	s.slo = obs.NewSLO(sloCfg)
+	s.reqs = obs.NewReqRing(cfg.RequestLogSize)
+	s.timeline = newTimeline(cfg.TimelineSize)
+	s.timeline.add(SwapEvent{
+		Generation:     1,
+		Time:           time.Now(),
+		RebuildSeconds: buildSeconds,
+		SwapSeconds:    buildSeconds,
+	})
 	s.mux = s.routes()
+	s.handler = http.Handler(s.mux)
+	if !cfg.DisableTracing {
+		s.handler = s.traced(s.mux)
+	}
 	s.ready.Store(true)
 	cfg.Health.Record("serve", "warmup complete: %d networks at generation 1", len(s.bases))
 	s.lg.Info("serve warmup complete", "networks", len(s.bases),
@@ -368,23 +427,39 @@ func (s *Server) ApplyAdvisory(text string) (*forecast.Advisory, uint64, error) 
 	if err := s.cfg.Injector.ForcedError(resilience.PointServeParse, seq); err != nil {
 		return nil, s.Generation(), err
 	}
+	parseStart := time.Now()
 	adv, err := forecast.ParseAdvisory(text)
+	parseDur := time.Since(parseStart)
 	if err != nil {
 		s.cfg.Health.Degrade("serve", err, "advisory ingest %d rejected", seq)
 		return nil, s.Generation(), err
 	}
-	gen, err := s.ApplyParsed(adv)
+	gen, err := s.applyParsed(adv, parseDur)
 	return adv, gen, err
 }
 
 // ApplyParsed swaps an already-parsed advisory into the serving world and
 // returns the generation now serving — the ingestion subsystem's swap hook
-// (ingest.Swapper). The rebuild runs inside a panic-recovery guard (a
+// (ingest.Swapper).
+func (s *Server) ApplyParsed(adv *forecast.Advisory) (uint64, error) {
+	return s.applyParsed(adv, 0)
+}
+
+// ApplyParsedTimed is ApplyParsed for callers that parsed the advisory
+// themselves and timed it (the ingestion poller): parseDur flows into the
+// generation's timeline event so /v1/generations reports the full
+// parse/rebuild/swap breakdown.
+func (s *Server) ApplyParsedTimed(adv *forecast.Advisory, parseDur time.Duration) (uint64, error) {
+	return s.applyParsed(adv, parseDur)
+}
+
+// applyParsed is the single swap path behind ApplyAdvisory, ApplyParsed, and
+// ApplyParsedTimed. The rebuild runs inside a panic-recovery guard (a
 // panicking engine build becomes a typed DegradedError, never a dead
 // daemon), and the new snapshot is verified before the pointer moves; on
 // any failure the current snapshot keeps serving. Concurrent calls
 // serialize; readers are never blocked.
-func (s *Server) ApplyParsed(adv *forecast.Advisory) (uint64, error) {
+func (s *Server) applyParsed(adv *forecast.Advisory, parseDur time.Duration) (uint64, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	cur := s.snap.Load()
@@ -394,10 +469,13 @@ func (s *Server) ApplyParsed(adv *forecast.Advisory) (uint64, error) {
 		return cur.gen, err
 	}
 	span := s.cfg.Trace.Child("advisory-swap")
+	swapStart := time.Now()
+	rebuildStart := swapStart
 	next, err := s.buildSnapshotRecover(gen, adv, span)
 	if err == nil {
 		err = s.verifySnapshot(next, cur)
 	}
+	rebuildSeconds := time.Since(rebuildStart).Seconds()
 	if err != nil {
 		span.End()
 		s.cfg.Health.Degrade("serve", err, "swap to generation %d failed", gen)
@@ -408,14 +486,28 @@ func (s *Server) ApplyParsed(adv *forecast.Advisory) (uint64, error) {
 	// Old-generation entries can never hit again (the generation is part of
 	// every cache key); reset eagerly so their memory is reclaimed now
 	// rather than by LRU pressure.
+	invalidated := s.cache.Len()
 	s.cache.Reset()
 	s.tel.swaps.Inc()
 	s.tel.generation.Set(float64(gen))
 	span.SetAttr("generation", gen)
 	span.SetAttr("storm", adv.Storm)
 	span.SetAttr("advisory", adv.Number)
-	swapSeconds := span.End().Seconds()
+	span.End()
+	// Measured directly (not via the span) so the timeline and the
+	// swap-latency histogram stay populated when tracing is off.
+	swapSeconds := time.Since(swapStart).Seconds()
 	s.tel.swapSeconds.Observe(swapSeconds)
+	s.timeline.add(SwapEvent{
+		Generation:       gen,
+		Time:             time.Now(),
+		Storm:            adv.Storm,
+		Advisory:         adv.Number,
+		ParseSeconds:     parseDur.Seconds(),
+		RebuildSeconds:   rebuildSeconds,
+		SwapSeconds:      swapSeconds,
+		CacheInvalidated: invalidated,
+	})
 	s.cfg.Health.Record("serve", "generation %d: %s advisory %d applied", gen, adv.Storm, adv.Number)
 	s.lg.Info("advisory swap", "generation", gen, "storm", adv.Storm,
 		"advisory", adv.Number, "seconds", swapSeconds)
@@ -484,10 +576,19 @@ func (s *Server) RevertAdvisory(fromGen uint64) (uint64, error) {
 		states:   s.prev.states,
 		byName:   s.prev.byName,
 	}
+	revertStart := time.Now()
 	s.snap.Store(restored)
+	ev := SwapEvent{Generation: gen, Time: revertStart, Rollback: true,
+		CacheInvalidated: s.cache.Len()}
+	if restored.advisory != nil {
+		ev.Storm = restored.advisory.Storm
+		ev.Advisory = restored.advisory.Number
+	}
 	s.prev = nil // a revert cannot itself be reverted
 	s.cache.Reset()
 	s.tel.generation.Set(float64(gen))
+	ev.SwapSeconds = time.Since(revertStart).Seconds()
+	s.timeline.add(ev)
 	s.cfg.Health.Record("serve", "generation %d: reverted generation %d to the prior world", gen, fromGen)
 	s.lg.Warn("advisory swap reverted", "bad_generation", fromGen, "generation", gen)
 	return gen, nil
@@ -519,8 +620,17 @@ func (s *Server) Drain() {
 	}
 }
 
-// Handler returns the daemon's HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP surface: the route mux wrapped in the
+// request-tracing middleware (unless Config.DisableTracing).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Timeline returns the retained swap-timeline events, oldest first — the
+// document behind /v1/generations.
+func (s *Server) Timeline() []SwapEvent { return s.timeline.events() }
+
+// SLOSnapshot reports the burn-rate engine's current state — the document
+// behind /v1/slo.
+func (s *Server) SLOSnapshot() obs.SLOSnapshot { return s.slo.Snapshot() }
 
 // CacheStats returns the result cache's lifetime hit/miss counters.
 func (s *Server) CacheStats() (hits, misses uint64) { return s.cache.Stats() }

@@ -11,6 +11,7 @@ import (
 
 	"riskroute/internal/datasets"
 	"riskroute/internal/forecast"
+	"riskroute/internal/obs"
 	"riskroute/internal/topology"
 )
 
@@ -38,10 +39,12 @@ func testServer(tb testing.TB) *Server {
 	tb.Helper()
 	testOnce.Do(func() {
 		testSrv, testErr = New(Config{
-			Networks:   []*topology.Network{datasets.NetworkByName("Sprint")},
-			Blocks:     4000,
-			EventScale: 0.03,
-			Seed:       1,
+			Networks:      []*topology.Network{datasets.NetworkByName("Sprint")},
+			Blocks:        4000,
+			EventScale:    0.03,
+			Seed:          1,
+			Metrics:       obs.NewRegistry(),
+			RequestIDSeed: 7,
 		})
 	})
 	if testErr != nil {

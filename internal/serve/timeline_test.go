@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTimelineRingBasics(t *testing.T) {
+	tl := newTimeline(2)
+	for g := uint64(1); g <= 4; g++ {
+		tl.add(SwapEvent{Generation: g})
+	}
+	evs := tl.events()
+	if len(evs) != 2 || evs[0].Generation != 3 || evs[1].Generation != 4 {
+		t.Fatalf("events = %+v, want generations 3,4 oldest first", evs)
+	}
+	var nilTL *timeline
+	nilTL.add(SwapEvent{})
+	if nilTL.events() != nil {
+		t.Fatal("nil timeline returned events")
+	}
+	if got := len(newTimeline(0).evs); got != defaultTimelineEvents {
+		t.Fatalf("default size %d, want %d", got, defaultTimelineEvents)
+	}
+	if newTimeline(-1) != nil {
+		t.Fatal("negative size should disable the timeline")
+	}
+}
+
+// TestGenerationsEndpoint pins the swap timeline end to end: startup event,
+// a forward swap with its parse/rebuild/swap breakdown, and a rollback
+// event, all visible at /v1/generations.
+func TestGenerationsEndpoint(t *testing.T) {
+	s := testServer(t)
+
+	evs := s.Timeline()
+	if len(evs) == 0 || evs[0].Generation != 1 {
+		t.Fatalf("startup event missing: %+v", evs)
+	}
+	if evs[0].RebuildSeconds <= 0 {
+		t.Fatalf("startup rebuild duration not recorded: %+v", evs[0])
+	}
+
+	// Forward swap through the HTTP surface, so ParseSeconds is measured.
+	adv := sandyReplay(t).Advisories[3]
+	rec := getTraced(t, s, http.MethodPost, "/v1/advisory", strings.NewReader(adv.Text()))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST advisory: %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	gen := s.Generation()
+
+	var doc struct {
+		Generation uint64      `json:"generation"`
+		Events     []SwapEvent `json:"events"`
+	}
+	page := getTraced(t, s, http.MethodGet, "/v1/generations", nil)
+	if page.Code != http.StatusOK {
+		t.Fatalf("/v1/generations: %d", page.Code)
+	}
+	if err := json.Unmarshal(page.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Generation != gen {
+		t.Fatalf("document generation %d, server at %d", doc.Generation, gen)
+	}
+	var swap *SwapEvent
+	for i := range doc.Events {
+		if doc.Events[i].Generation == gen {
+			swap = &doc.Events[i]
+		}
+	}
+	if swap == nil {
+		t.Fatalf("no event for generation %d in %+v", gen, doc.Events)
+	}
+	if swap.Storm != "SANDY" || swap.Advisory != adv.Number || swap.Rollback {
+		t.Fatalf("swap event: %+v", swap)
+	}
+	if swap.ParseSeconds <= 0 || swap.RebuildSeconds <= 0 || swap.SwapSeconds < swap.RebuildSeconds {
+		t.Fatalf("stage durations implausible: %+v", swap)
+	}
+
+	// Rollback publishes its own timeline event.
+	reverted, err := s.RevertAdvisory(gen)
+	if err != nil {
+		t.Fatalf("revert: %v", err)
+	}
+	evs = s.Timeline()
+	last := evs[len(evs)-1]
+	if last.Generation != reverted || !last.Rollback {
+		t.Fatalf("rollback event: %+v (want generation %d, rollback=true)", last, reverted)
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+// Request-scoped tracing middleware. Every request entering the daemon gets
+// an identifier — honored from an inbound X-Request-Id header so IDs survive
+// proxy hops, otherwise drawn from the server's generator — carried through
+// admission, cache, and engine stages as a *obs.ReqScope in the context, and
+// echoed back as the X-Request-Id response header on every status. On the
+// way out the middleware emits one structured access-log line, feeds the SLO
+// engine (which shares the serve.request_seconds.all histogram, so latency
+// is observed once), and tail-samples slow or errored requests into the
+// bounded ring behind /debug/requests.
+//
+// The per-request state — status recorder, scope, and the context that
+// carries it — lives in one pooled struct, so steady-state cost is the ID
+// string, the request clone that context propagation forces, and the
+// response header. Pooling is sound because every handler in this package
+// is synchronous: nothing retains the ResponseWriter or the request context
+// past ServeHTTP's return. Config.DisableTracing removes the middleware
+// entirely.
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"riskroute/internal/obs"
+)
+
+// traceState is the pooled per-request tracing state.
+type traceState struct {
+	statusWriter
+	scope obs.ReqScope
+	ctx   obs.ScopeCtx
+}
+
+var tracePool = sync.Pool{New: func() any { return new(traceState) }}
+
+// traced wraps the daemon's whole HTTP surface with request tracing.
+func (s *Server) traced(next http.Handler) http.Handler {
+	// One Enabled probe at construction: the logger's level does not change
+	// over the server's life, and the check is off the per-request path.
+	logAccess := s.lg.Enabled(context.Background(), slog.LevelInfo)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		// Direct map access skips textproto canonicalization; net/http has
+		// already canonicalized inbound keys, and ours is canonical.
+		id := ""
+		if vs := r.Header["X-Request-Id"]; len(vs) > 0 {
+			id = vs[0]
+		}
+		if id == "" {
+			id = s.ids.Next()
+		}
+		ts := tracePool.Get().(*traceState)
+		ts.statusWriter = statusWriter{ResponseWriter: w, status: http.StatusOK, start: start}
+		ts.scope = obs.ReqScope{ID: id}
+		ts.ctx.Bind(r.Context(), &ts.scope)
+		w.Header()["X-Request-Id"] = []string{id}
+		next.ServeHTTP(&ts.statusWriter, r.WithContext(&ts.ctx))
+
+		// instrument stamped its end time on the shared statusWriter; reuse
+		// it (the instant between its stamp and here is a handful of counter
+		// increments) so a traced request costs no extra clock reads.
+		end := ts.end
+		if end.IsZero() {
+			end = time.Now()
+		}
+		dur := end.Sub(start)
+		status := ts.status
+		s.slo.RecordAt(end, dur, status >= 500)
+		if logAccess {
+			s.lg.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Uint64("generation", ts.scope.Generation),
+				slog.Bool("cache_hit", ts.scope.CacheHit),
+				slog.Duration("queue_wait", ts.scope.QueueWait),
+				slog.Duration("duration", dur))
+		}
+		if status >= 400 || dur >= s.cfg.SlowRequest {
+			s.reqs.Add(obs.ReqRecord{
+				ID: id, Time: start, Method: r.Method, Path: r.URL.Path,
+				Status: status, Generation: ts.scope.Generation,
+				CacheHit: ts.scope.CacheHit, QueueWait: ts.scope.QueueWait, Duration: dur,
+			})
+		}
+		ts.ctx.Bind(nil, nil) // drop request references before pooling
+		ts.ResponseWriter = nil
+		tracePool.Put(ts)
+	})
+}
+
+// scopeGeneration records the snapshot generation a handler answered from
+// into the request scope (no-op outside a traced request).
+func scopeGeneration(r *http.Request, gen uint64) {
+	if rs := obs.ReqScopeFrom(r.Context()); rs != nil {
+		rs.Generation = gen
+	}
+}
+
+// scopeCacheHit records the result-cache outcome into the request scope.
+func scopeCacheHit(r *http.Request, hit bool) {
+	if rs := obs.ReqScopeFrom(r.Context()); rs != nil {
+		rs.CacheHit = hit
+	}
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"riskroute/internal/obs"
+)
+
+// BenchmarkTracedMiddlewareOnly isolates the middleware itself: a stub
+// inner handler, so the measurement is pure tracing cost (ID, scope,
+// context, status capture, SLO record, sampling check).
+func BenchmarkTracedMiddlewareOnly(b *testing.B) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("serve.request_seconds.all", obs.LatencyBuckets())
+	s := &Server{
+		cfg:  Config{SlowRequest: 250 * time.Millisecond},
+		ids:  obs.NewRequestIDs(1),
+		slo:  obs.NewSLO(obs.SLOConfig{Metrics: reg, LatencyHistogram: hist}),
+		reqs: obs.NewReqRing(64),
+		lg:   obs.NopLogger(),
+		tel:  serveObs{reqSeconds: hist},
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	h := s.traced(inner)
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	rec := httptest.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(rec, req)
+	}
+}
+
+// BenchmarkTracedMiddlewareBase is the same stub handler without the
+// middleware, for subtraction.
+func BenchmarkTracedMiddlewareBase(b *testing.B) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	rec := httptest.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inner.ServeHTTP(rec, req)
+	}
+}

@@ -539,7 +539,35 @@ type (
 	RunEvent = obs.LedgerEvent
 	// ChromeTrace is a span tree serialized as Chrome trace-event JSON.
 	ChromeTrace = obs.ChromeTrace
+	// Histogram is a concurrency-safe fixed-bucket distribution; Quantile
+	// estimates percentiles by linear interpolation within a bucket.
+	Histogram = obs.Histogram
+	// SLOConfig tunes a burn-rate SLO engine (latency and error-ratio
+	// objectives over rolling windows).
+	SLOConfig = obs.SLOConfig
+	// SLOEngine tracks rolling multi-window burn rates.
+	SLOEngine = obs.SLO
+	// SLOSnapshot is one SLO engine report (the /v1/slo document).
+	SLOSnapshot = obs.SLOSnapshot
+	// RequestIDs generates request identifiers, deterministic when seeded.
+	RequestIDs = obs.RequestIDs
 )
+
+// NewHistogram returns a standalone histogram with the given bucket bounds
+// (sorted ascending) — no registry required.
+func NewHistogram(bounds []float64) *Histogram { return obs.NewHistogram(bounds) }
+
+// NewSLO builds a burn-rate SLO engine (zero config = 100ms @ 99%, 99.9%
+// availability, 5m/1h windows).
+func NewSLO(cfg SLOConfig) *SLOEngine { return obs.NewSLO(cfg) }
+
+// NewRequestIDs returns a request-ID generator; a non-zero seed pins the
+// exact ID sequence.
+func NewRequestIDs(seed uint64) *RequestIDs { return obs.NewRequestIDs(seed) }
+
+// WriteProm renders a metrics snapshot in Prometheus text exposition format
+// 0.0.4 (byte-deterministic for a fixed snapshot).
+func WriteProm(w io.Writer, s MetricsSnapshot) error { return s.WriteProm(w) }
 
 // NewMetrics returns an empty telemetry registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
@@ -625,6 +653,9 @@ type (
 	ServeConfig = serve.Config
 	// Server is the online RiskRoute daemon.
 	Server = serve.Server
+	// SwapEvent is one generation's lifecycle record on the swap timeline
+	// (the /v1/generations document).
+	SwapEvent = serve.SwapEvent
 )
 
 // NewServer warms the serving world and publishes generation 1. The
