@@ -3,8 +3,8 @@ GO ?= go
 # BENCH_BASELINE / BENCH_NEW name the checked-in summaries the regression
 # gate compares; BENCH_THRESHOLD is the min-ns/op slowdown (percent) that
 # fails bench-compare.
-BENCH_BASELINE ?= BENCH_PR5.json
-BENCH_NEW ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_NEW ?= BENCH_PR8.json
 BENCH_THRESHOLD ?= 10
 
 .PHONY: tier1 tier2 fuzz-smoke bench bench-compare determinism
@@ -36,9 +36,14 @@ bench:
 	# estimator that resolves a ~0.5µs delta on a noisy box (separately
 	# invoked Off/On minima swing by several percent either way).
 	$(GO) test -run='^$$' -bench='RouteTracingPaired' -count=5 -benchtime=1s ./internal/serve | tee -a bench.out
+	# RouteExplainPaired is the PR 8 explain-off gate: the explain-capable
+	# route handler may cost requests that never ask for an explanation at
+	# most 1% over the attribution-free body (same interleaved estimator).
+	$(GO) test -run='^$$' -bench='RouteExplainPaired' -count=5 -benchtime=1s ./internal/serve | tee -a bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_NEW) \
 		-overhead-off RouteWithTracingOff -overhead-on RouteWithTracingOn \
-		-overhead-paired RouteTracingPaired bench.out
+		-overhead-paired RouteTracingPaired \
+		-gate 'explain=RouteExplainOff/RouteExplainOn/RouteExplainPaired@1' bench.out
 	@rm -f bench.out
 
 # bench-compare diffs the new summary against the checked-in baseline and

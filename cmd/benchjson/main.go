@@ -67,12 +67,69 @@ type overhead struct {
 	PairedBench string `json:"paired_bench,omitempty"`
 }
 
+// gate is one named off/on overhead budget evaluated while summarizing:
+// -gate NAME=OFF/ON[/PAIRED][@MAX] computes the overhead ratio between the
+// OFF and ON benchmarks (PAIRED's self-reported overhead-pct metric, when
+// named, overrides the min quotient exactly as -overhead-paired does) and,
+// when @MAX is given, fails the run if the ratio exceeds MAX percent.
+type gate struct {
+	Name        string  `json:"name"`
+	Off         string  `json:"off"`
+	On          string  `json:"on"`
+	OffNsMin    float64 `json:"off_ns_per_op_min"`
+	OnNsMin     float64 `json:"on_ns_per_op_min"`
+	OverheadPct float64 `json:"overhead_pct"`
+	PairedBench string  `json:"paired_bench,omitempty"`
+	MaxPct      float64 `json:"max_pct,omitempty"`
+	Enforced    bool    `json:"enforced"`
+	Pass        bool    `json:"pass"`
+}
+
+// gateSpec is one parsed -gate argument.
+type gateSpec struct {
+	name, off, on, paired string
+	maxPct                float64
+	enforced              bool
+}
+
+// gateFlags collects repeated -gate arguments.
+type gateFlags []gateSpec
+
+func (g *gateFlags) String() string { return fmt.Sprintf("%d gates", len(*g)) }
+
+func (g *gateFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("gate %q: want NAME=OFF/ON[/PAIRED][@MAX]", v)
+	}
+	spec := gateSpec{name: name}
+	benches, max, hasMax := strings.Cut(rest, "@")
+	if hasMax {
+		pct, err := strconv.ParseFloat(max, 64)
+		if err != nil {
+			return fmt.Errorf("gate %q: bad max percent %q", v, max)
+		}
+		spec.maxPct, spec.enforced = pct, true
+	}
+	parts := strings.Split(benches, "/")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("gate %q: want NAME=OFF/ON[/PAIRED][@MAX]", v)
+	}
+	spec.off, spec.on = parts[0], parts[1]
+	if len(parts) == 3 {
+		spec.paired = parts[2]
+	}
+	*g = append(*g, spec)
+	return nil
+}
+
 type summary struct {
 	GoVersion  string    `json:"go_version"`
 	GOOS       string    `json:"goos"`
 	GOARCH     string    `json:"goarch"`
 	Benchmarks []result  `json:"benchmarks"`
 	Overhead   *overhead `json:"telemetry_overhead,omitempty"`
+	Gates      []gate    `json:"gates,omitempty"`
 }
 
 func main() {
@@ -82,6 +139,8 @@ func main() {
 	pairedName := flag.String("overhead-paired", "", "benchmark whose self-reported overhead-pct metric overrides the off/on min quotient (substring match)")
 	compare := flag.Bool("compare", false, "compare two JSON summaries: benchjson -compare OLD NEW")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+	var gates gateFlags
+	flag.Var(&gates, "gate", "overhead budget NAME=OFF/ON[/PAIRED][@MAX], repeatable; exits nonzero when a gated ratio exceeds MAX percent")
 	flag.Parse()
 
 	if *compare {
@@ -183,6 +242,17 @@ func main() {
 			s.Overhead.OverheadPct = p.OverheadPct
 		}
 	}
+	gateFailed := false
+	for _, spec := range gates {
+		g, err := evalGate(s.Benchmarks, spec)
+		if err != nil {
+			fatal(err)
+		}
+		s.Gates = append(s.Gates, g)
+		if !g.Pass {
+			gateFailed = true
+		}
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -198,6 +268,43 @@ func main() {
 	if err := enc.Encode(s); err != nil {
 		fatal(err)
 	}
+	if gateFailed {
+		for _, g := range s.Gates {
+			if !g.Pass {
+				fmt.Fprintf(os.Stderr, "benchjson: gate %s FAILED: overhead %.2f%% exceeds max %.2f%% (%s vs %s)\n",
+					g.Name, g.OverheadPct, g.MaxPct, g.On, g.Off)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// evalGate resolves one gate spec against the aggregated benchmarks.
+func evalGate(benches []result, spec gateSpec) (gate, error) {
+	off, on := find(benches, spec.off), find(benches, spec.on)
+	if off == nil || on == nil {
+		return gate{}, fmt.Errorf("gate %s: pair %q/%q not found in results", spec.name, spec.off, spec.on)
+	}
+	g := gate{
+		Name:        spec.name,
+		Off:         off.Name,
+		On:          on.Name,
+		OffNsMin:    off.NsPerOpMin,
+		OnNsMin:     on.NsPerOpMin,
+		OverheadPct: 100 * (on.NsPerOpMin - off.NsPerOpMin) / off.NsPerOpMin,
+		MaxPct:      spec.maxPct,
+		Enforced:    spec.enforced,
+	}
+	if spec.paired != "" {
+		p := find(benches, spec.paired)
+		if p == nil {
+			return gate{}, fmt.Errorf("gate %s: paired benchmark %q not found in results", spec.name, spec.paired)
+		}
+		g.PairedBench = p.Name
+		g.OverheadPct = p.OverheadPct
+	}
+	g.Pass = !g.Enforced || g.OverheadPct <= g.MaxPct
+	return g, nil
 }
 
 // parseLine matches `BenchmarkName-8   100  12345 ns/op [ 67 B/op  8 allocs/op ]`.

@@ -141,3 +141,83 @@ func TestLoadSummary(t *testing.T) {
 		t.Fatal("malformed JSON should be an error")
 	}
 }
+
+func TestGateFlagParsing(t *testing.T) {
+	var g gateFlags
+	if err := g.Set("explain=RouteExplainOff/RouteExplainOn/RouteExplainPaired@1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Set("tracing=TracingOff/TracingOn"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 {
+		t.Fatalf("%d gates parsed", len(g))
+	}
+	full := g[0]
+	if full.name != "explain" || full.off != "RouteExplainOff" || full.on != "RouteExplainOn" ||
+		full.paired != "RouteExplainPaired" || !full.enforced || full.maxPct != 1 {
+		t.Fatalf("parsed %+v", full)
+	}
+	loose := g[1]
+	if loose.name != "tracing" || loose.paired != "" || loose.enforced {
+		t.Fatalf("parsed %+v", loose)
+	}
+	for _, bad := range []string{"", "noequals", "x=", "x=only-off", "x=a/b/c/d", "x=a/b@notanumber"} {
+		if err := g.Set(bad); err == nil {
+			t.Errorf("gate %q parsed, want error", bad)
+		}
+	}
+}
+
+func TestEvalGate(t *testing.T) {
+	benches := []result{
+		{Name: "BenchmarkRouteExplainOff", NsPerOpMin: 1000},
+		{Name: "BenchmarkRouteExplainOn", NsPerOpMin: 1005},
+		{Name: "BenchmarkRouteExplainPaired", NsPerOpMin: 64000, OverheadPct: 0.4},
+	}
+
+	// Paired metric overrides the min quotient; under budget passes.
+	g, err := evalGate(benches, gateSpec{name: "explain",
+		off: "RouteExplainOff", on: "RouteExplainOn", paired: "RouteExplainPaired",
+		maxPct: 1, enforced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OverheadPct != 0.4 || g.PairedBench != "BenchmarkRouteExplainPaired" || !g.Pass {
+		t.Fatalf("gate %+v", g)
+	}
+
+	// Without the paired bench the min quotient applies: 0.5% under a 1% max.
+	g, err = evalGate(benches, gateSpec{name: "explain",
+		off: "RouteExplainOff", on: "RouteExplainOn", maxPct: 1, enforced: true})
+	if err != nil || !g.Pass || g.OverheadPct != 0.5 {
+		t.Fatalf("quotient gate %+v err=%v", g, err)
+	}
+
+	// Over budget fails.
+	over := []result{
+		{Name: "BenchmarkRouteExplainOff", NsPerOpMin: 1000},
+		{Name: "BenchmarkRouteExplainOn", NsPerOpMin: 1100},
+	}
+	g, err = evalGate(over, gateSpec{name: "explain",
+		off: "RouteExplainOff", on: "RouteExplainOn", maxPct: 1, enforced: true})
+	if err != nil || g.Pass {
+		t.Fatalf("10%% overhead passed a 1%% gate: %+v err=%v", g, err)
+	}
+
+	// Unenforced gates always pass (reporting only).
+	g, err = evalGate(over, gateSpec{name: "explain",
+		off: "RouteExplainOff", on: "RouteExplainOn"})
+	if err != nil || !g.Pass || g.Enforced {
+		t.Fatalf("unenforced gate %+v err=%v", g, err)
+	}
+
+	// Missing benchmarks are hard errors.
+	if _, err := evalGate(benches, gateSpec{name: "x", off: "Nope", on: "RouteExplainOn"}); err == nil {
+		t.Fatal("missing off benchmark should error")
+	}
+	if _, err := evalGate(benches, gateSpec{name: "x",
+		off: "RouteExplainOff", on: "RouteExplainOn", paired: "Nope"}); err == nil {
+		t.Fatal("missing paired benchmark should error")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runStdout execs the CLI capturing stdout alone — byte-parity checks must
+// not let stderr telemetry bleed into the compared body.
+func runStdout(t *testing.T, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg += "\n" + string(ee.Stderr)
+		}
+		t.Fatalf("riskroute %s: %s", strings.Join(args, " "), msg)
+	}
+	return out
+}
+
+// TestCLIExplainParity pins the tentpole's CLI/daemon byte identity: the
+// explain command over the golden world (Sprint, 4000 blocks, event scale
+// 0.03, seed 1) must emit exactly the bytes the daemon serves for
+// /v1/route?explain=1&format=geojson — the fixture the serve package's
+// golden test maintains.
+func TestCLIExplainParity(t *testing.T) {
+	want, err := os.ReadFile("../../internal/serve/testdata/explain_golden.geojson")
+	if err != nil {
+		t.Fatalf("read golden fixture (generate with go test ./internal/serve -run Golden -update-golden): %v", err)
+	}
+	got := runStdout(t, append(append([]string{"explain", "-network", "Sprint",
+		"-format", "geojson"}, tiny...), "Atlanta", "Seattle")...)
+	if string(got) != string(want) {
+		t.Fatalf("CLI explain differs from daemon golden fixture (%d vs %d bytes)\ngot:\n%s",
+			len(got), len(want), got)
+	}
+}
+
+// TestCLIExplainJSON checks the default JSON body carries a reconciled
+// attribution block.
+func TestCLIExplainJSON(t *testing.T) {
+	out := string(runStdout(t, append([]string{"explain", "-network", "Sprint",
+		"-from", "Atlanta", "-to", "Seattle"}, tiny...)...))
+	for _, want := range []string{`"explain"`, `"reconciled": true`, `"edges"`,
+		`"base_risk"`, `"risk_cost"`, `"Atlanta"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain JSON missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIExplainStorm checks the advisory path produces forecast-layer
+// attribution through the same swap machinery the daemon uses.
+func TestCLIExplainStorm(t *testing.T) {
+	out := string(runStdout(t, append([]string{"explain", "-network", "Sprint",
+		"-from", "Miami", "-to", "Boston", "-storm", "Sandy"}, tiny...)...))
+	if !strings.Contains(out, `"storm": "SANDY"`) {
+		t.Errorf("storm explain missing advisory annotation:\n%s", out)
+	}
+	if !strings.Contains(out, `"reconciled": true`) {
+		t.Errorf("storm explain did not reconcile:\n%s", out)
+	}
+}
+
+func TestCLIExplainErrors(t *testing.T) {
+	out := runExpectError(t, append(append([]string{"explain", "-network", "Sprint",
+		"-span-risk"}, tiny...), "Atlanta", "Seattle")...)
+	if !strings.Contains(out, "span-risk") {
+		t.Errorf("span-risk rejection message: %s", out)
+	}
+	out = runExpectError(t, append(append([]string{"explain", "-network", "Sprint",
+		"-format", "yaml"}, tiny...), "Atlanta", "Seattle")...)
+	if !strings.Contains(out, "format") {
+		t.Errorf("format rejection message: %s", out)
+	}
+}

@@ -34,6 +34,8 @@ func main() {
 	switch cmd {
 	case "route":
 		err = cmdRoute(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "ratios":
 		err = cmdRatios(args)
 	case "provision":
@@ -85,6 +87,8 @@ func usage() {
 
 Commands:
   route      minimum bit-risk-mile path between two PoPs vs shortest path
+  explain    per-edge, per-layer attribution of a route (JSON or GeoJSON,
+             byte-identical to the daemon's /v1/route?explain=1)
   ratios     risk-reduction / distance-increase ratios (intra- or interdomain)
   provision  best additional links for a network (Equation 4, greedy)
   peers      best new peering relationships for a regional network

@@ -1,0 +1,61 @@
+package hazard
+
+import (
+	"riskroute/internal/geo"
+	"riskroute/internal/kde"
+)
+
+// SourceProbe is one catalog's contribution at a probed point.
+type SourceProbe struct {
+	Name      string  `json:"name"`
+	Bandwidth float64 `json:"bandwidth_miles"`
+	Events    int     `json:"events"`
+	// Density is the raw kernel density at the point (probability per
+	// square mile); Risk is the same figure in calibrated risk units
+	// (Density·RiskScale, before any lost-layer renormalization — the
+	// per-source view SourceRiskAt reports).
+	Density float64 `json:"density"`
+	Risk    float64 `json:"risk"`
+	// Stencil is the bilinear interpolation stencil the density was read
+	// through: which raster cells, at what weights.
+	Stencil kde.PointSample `json:"stencil"`
+}
+
+// Probe explains RiskAt(p): the aggregate risk (bit-identical to RiskAt —
+// the same per-source accumulation order and the same final scaling), the
+// renormalization in effect, any layers a lenient fit dropped, and each
+// surviving catalog's contribution. The per-source Risk values multiply by
+// Renorm and sum to approximately Risk (floating-point association
+// differs); the aggregate itself is exact.
+type Probe struct {
+	Point   geo.Point     `json:"point"`
+	Risk    float64       `json:"risk"`
+	Renorm  float64       `json:"renorm"`
+	Lost    []string      `json:"lost,omitempty"`
+	Sources []SourceProbe `json:"sources"`
+}
+
+// Probe evaluates the fitted field at p with full attribution. The
+// aggregate Probe.Risk is bit-identical to RiskAt(p).
+func (m *Model) Probe(p geo.Point) Probe {
+	pr := Probe{Point: p, Renorm: m.Renorm(), Lost: m.Lost,
+		Sources: make([]SourceProbe, len(m.Sources))}
+	// RiskAt's exact accumulation: sum the per-source densities in source
+	// order, then scale once.
+	sum := 0.0
+	for i := range m.Sources {
+		s := &m.Sources[i]
+		st := s.Field.Sample(p)
+		sum += st.Value
+		pr.Sources[i] = SourceProbe{
+			Name:      s.Name,
+			Bandwidth: s.Bandwidth,
+			Events:    s.Events,
+			Density:   st.Value,
+			Risk:      st.Value * RiskScale,
+			Stencil:   st,
+		}
+	}
+	pr.Risk = sum * RiskScale * m.Renorm()
+	return pr
+}

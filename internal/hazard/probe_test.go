@@ -1,0 +1,77 @@
+package hazard
+
+import (
+	"math"
+	"testing"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/resilience"
+)
+
+// TestProbeMatchesRiskAt pins the point-query contract: Probe.Risk is
+// bit-identical to RiskAt, per-source figures match SourceRiskAt, and the
+// per-source contributions approximately rebuild the aggregate.
+func TestProbeMatchesRiskAt(t *testing.T) {
+	m, err := Fit(smallSources(t), FitConfig{CellMiles: 30})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	points := []geo.Point{
+		{Lat: 29.95, Lon: -90.07}, // New Orleans: in the thick of the catalogs
+		{Lat: 47.6, Lon: -122.3},  // Seattle: far tail
+		{Lat: 40.7, Lon: -74.0},
+	}
+	for _, p := range points {
+		pr := m.Probe(p)
+		if math.Float64bits(pr.Risk) != math.Float64bits(m.RiskAt(p)) {
+			t.Fatalf("probe %v: Risk %v != RiskAt %v", p, pr.Risk, m.RiskAt(p))
+		}
+		if pr.Renorm != 1 {
+			t.Fatalf("probe %v: renorm %v at full fidelity", p, pr.Renorm)
+		}
+		if len(pr.Sources) != len(m.Sources) {
+			t.Fatalf("probe %v: %d sources for %d fitted", p, len(pr.Sources), len(m.Sources))
+		}
+		rebuilt := 0.0
+		for i, sp := range pr.Sources {
+			if sp.Name != m.Sources[i].Name || sp.Events != m.Sources[i].Events {
+				t.Fatalf("probe %v: source %d metadata mismatch", p, i)
+			}
+			if math.Float64bits(sp.Risk) != math.Float64bits(m.SourceRiskAt(sp.Name, p)) {
+				t.Fatalf("probe %v: source %s risk %v != SourceRiskAt %v",
+					p, sp.Name, sp.Risk, m.SourceRiskAt(sp.Name, p))
+			}
+			rebuilt += sp.Risk
+		}
+		rebuilt *= pr.Renorm
+		if pr.Risk != 0 && math.Abs(rebuilt-pr.Risk)/pr.Risk > 1e-12 {
+			t.Fatalf("probe %v: per-source sum %v far from aggregate %v", p, rebuilt, pr.Risk)
+		}
+	}
+}
+
+// TestProbeLenientRenorm checks a degraded model's probes surface the lost
+// layers and the renormalization, and stay bit-identical to RiskAt.
+func TestProbeLenientRenorm(t *testing.T) {
+	srcs := smallSources(t)
+	inj := resilience.NewInjector(1).
+		EnableKeys(resilience.PointKDEFit, resilience.ForceError, 1)
+	m, err := Fit(srcs, FitConfig{CellMiles: 30, Lenient: true, Injector: inj})
+	if err != nil {
+		t.Fatalf("lenient Fit: %v", err)
+	}
+	if len(m.Lost) != 1 {
+		t.Fatalf("lost layers: %v", m.Lost)
+	}
+	p := geo.Point{Lat: 29.95, Lon: -90.07}
+	pr := m.Probe(p)
+	if math.Float64bits(pr.Risk) != math.Float64bits(m.RiskAt(p)) {
+		t.Fatalf("degraded probe: Risk %v != RiskAt %v", pr.Risk, m.RiskAt(p))
+	}
+	if pr.Renorm != m.Renorm() || pr.Renorm == 1 {
+		t.Fatalf("degraded probe renorm %v (model %v)", pr.Renorm, m.Renorm())
+	}
+	if len(pr.Lost) != 1 || pr.Lost[0] != m.Lost[0] {
+		t.Fatalf("degraded probe lost %v != model %v", pr.Lost, m.Lost)
+	}
+}

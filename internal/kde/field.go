@@ -256,6 +256,85 @@ func (f *Field) At(p geo.Point) float64 {
 	return v00*(1-tr)*(1-tc) + v01*(1-tr)*tc + v10*tr*(1-tc) + v11*tr*tc
 }
 
+// CellSample is one raster cell of a bilinear interpolation stencil: its
+// grid coordinates, center, stored density, and the weight it contributed.
+type CellSample struct {
+	Row    int       `json:"row"`
+	Col    int       `json:"col"`
+	Center geo.Point `json:"center"`
+	Value  float64   `json:"value"`
+	Weight float64   `json:"weight"`
+}
+
+// PointSample explains one Field.At lookup: the interpolated value plus the
+// four-cell stencil it was blended from (weights sum to 1; clamped lookups
+// at the grid boundary may repeat a cell). Value is bit-identical to
+// At(p) — the same expressions in the same order — which a property test
+// pins, so probes can be trusted as explanations of the routing surface.
+func (f *Field) Sample(p geo.Point) PointSample {
+	g := f.Grid
+	fr := (p.Lat-g.Bounds.MinLat)/g.CellHeight() - 0.5
+	fc := (p.Lon-g.Bounds.MinLon)/g.CellWidth() - 0.5
+	r0 := int(math.Floor(fr))
+	c0 := int(math.Floor(fc))
+	tr := fr - float64(r0)
+	tc := fc - float64(c0)
+
+	clampR := func(r int) int {
+		if r < 0 {
+			return 0
+		}
+		if r >= g.Rows {
+			return g.Rows - 1
+		}
+		return r
+	}
+	clampC := func(c int) int {
+		if c < 0 {
+			return 0
+		}
+		if c >= g.Cols {
+			return g.Cols - 1
+		}
+		return c
+	}
+	rows := [4]int{clampR(r0), clampR(r0), clampR(r0 + 1), clampR(r0 + 1)}
+	cols := [4]int{clampC(c0), clampC(c0 + 1), clampC(c0), clampC(c0 + 1)}
+	if tr < 0 {
+		tr = 0
+	}
+	if tr > 1 {
+		tr = 1
+	}
+	if tc < 0 {
+		tc = 0
+	}
+	if tc > 1 {
+		tc = 1
+	}
+	weights := [4]float64{(1 - tr) * (1 - tc), (1 - tr) * tc, tr * (1 - tc), tr * tc}
+	var s PointSample
+	for i := 0; i < 4; i++ {
+		s.Cells[i] = CellSample{
+			Row:    rows[i],
+			Col:    cols[i],
+			Center: g.CellCenter(rows[i], cols[i]),
+			Value:  f.Values[g.Index(rows[i], cols[i])],
+			Weight: weights[i],
+		}
+	}
+	// The exact expression At evaluates, term order included.
+	s.Value = s.Cells[0].Value*(1-tr)*(1-tc) + s.Cells[1].Value*(1-tr)*tc +
+		s.Cells[2].Value*tr*(1-tc) + s.Cells[3].Value*tr*tc
+	return s
+}
+
+// PointSample is Sample's result: the interpolated density and its stencil.
+type PointSample struct {
+	Value float64       `json:"value"`
+	Cells [4]CellSample `json:"cells"`
+}
+
 // Max returns the largest cell value.
 func (f *Field) Max() float64 {
 	max := 0.0

@@ -27,12 +27,14 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/risk", s.instrument("risk", s.handleRisk))
 	mux.HandleFunc("/v1/route", s.instrument("route", s.admit(s.handleRoute)))
 	mux.HandleFunc("/v1/ratio", s.instrument("ratio", s.admit(s.handleRatio)))
+	mux.HandleFunc("/v1/edges/top", s.instrument("edges-top", s.statusHandler(s.edgesTopDoc)))
 	mux.HandleFunc("/v1/advisory", s.instrument("advisory", s.handleAdvisory))
 	mux.HandleFunc("/v1/ingest", s.instrument("ingest", s.statusHandler(s.ingestDoc)))
 	mux.HandleFunc("/v1/generations", s.instrument("generations", s.statusHandler(s.generationsDoc)))
 	mux.HandleFunc("/v1/slo", s.instrument("slo", s.statusHandler(s.sloDoc)))
 	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
-	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/hazard", s.instrument("hazard-probe", s.statusHandler(s.hazardProbeDoc)))
+	mux.HandleFunc("/debug/requests", s.instrument("debug-requests", s.handleDebugRequests))
 	return mux
 }
 
@@ -99,7 +101,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	s.writeJSON(w, status, errorDoc(format, args...))
+}
+
+// errorDoc is writeError's document form, for statusHandler docs that
+// return their error bodies instead of writing them.
+func errorDoc(format string, args ...any) map[string]string {
+	return map[string]string{"error": fmt.Sprintf(format, args...)}
 }
 
 // statusHandler adapts a status-document source into a handler: the shared
@@ -194,9 +202,20 @@ type routeResponse struct {
 	RiskReduction    float64 `json:"risk_reduction"`
 	DistanceIncrease float64 `json:"distance_increase"`
 	Cached           bool    `json:"cached"`
+
+	// Explain is the per-edge attribution block, present only for
+	// ?explain=1 requests (which bypass the result cache).
+	Explain *routeExplanation `json:"explain,omitempty"`
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	s.routeImpl(w, r, true)
+}
+
+// routeImpl is the route endpoint body. explainCapable=false serves the
+// explain-free hot path unconditionally — the paired overhead benchmark
+// drives it as the baseline against the production handler.
+func (s *Server) routeImpl(w http.ResponseWriter, r *http.Request, explainCapable bool) {
 	if s.deadlineExceeded(w, r) {
 		return
 	}
@@ -218,18 +237,24 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	explain := explainCapable && wantExplain(q)
 
 	key := cacheKey{gen: snap.gen, kind: kindRoute, network: st.net.Name,
 		src: src, dst: dst, lambdaH: params.LambdaH, lambdaF: params.LambdaF}
-	if v, ok := s.cache.Get(key); ok {
-		s.tel.cacheHits.Inc()
-		scopeCacheHit(r, true)
-		resp := *v.(*routeResponse)
-		resp.Cached = true
-		s.writeJSON(w, http.StatusOK, resp)
-		return
+	// Explain responses bypass the cache in both directions: a cached route
+	// carries no attribution, and attribution bodies are too large to be
+	// worth displacing plain routes.
+	if !explain {
+		if v, ok := s.cache.Get(key); ok {
+			s.tel.cacheHits.Inc()
+			scopeCacheHit(r, true)
+			resp := *v.(*routeResponse)
+			resp.Cached = true
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		s.tel.cacheMisses.Inc()
 	}
-	s.tel.cacheMisses.Inc()
 	if err := s.cfg.Injector.Fail(resilience.PointServeRoute, s.routeSeq.Add(1)); err != nil {
 		s.cfg.Health.Degrade("serve", err, "route %s %s->%s failed", st.net.Name, from, to)
 		s.writeError(w, http.StatusInternalServerError, "route computation failed: %v", err)
@@ -268,7 +293,16 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if sp.Miles > 0 {
 		resp.DistanceIncrease = rr.Miles/sp.Miles - 1
 	}
-	s.cache.Put(key, resp)
+	if !explain {
+		s.cache.Put(key, resp)
+		s.writeJSON(w, http.StatusOK, *resp)
+		return
+	}
+	resp.Explain = s.buildExplanation(st, eng, src, dst, rr, sp)
+	if q.Get("format") == "geojson" {
+		s.writeJSON(w, http.StatusOK, s.explainGeoJSON(st, resp, resp.Explain, rr.Path, sp.Path))
+		return
+	}
 	s.writeJSON(w, http.StatusOK, *resp)
 }
 

@@ -204,6 +204,10 @@ type serveObs struct {
 	swapSeconds *obs.Histogram // serve.swap_seconds
 	generation  *obs.Gauge     // serve.generation
 	reqSeconds  *obs.Histogram // serve.request_seconds.all (traced middleware)
+
+	explains     *obs.Counter   // serve.explain.requests_total
+	explainDepth *obs.Histogram // serve.explain.depth (edges per explanation)
+	probes       *obs.Counter   // serve.hazard.probes_total
 }
 
 func newServeObs(r *obs.Registry) serveObs {
@@ -220,6 +224,10 @@ func newServeObs(r *obs.Registry) serveObs {
 		swapSeconds: r.Histogram("serve.swap_seconds", obs.LatencyBuckets()),
 		generation:  r.Gauge("serve.generation"),
 		reqSeconds:  r.Histogram("serve.request_seconds.all", obs.LatencyBuckets()),
+
+		explains:     r.Counter("serve.explain.requests_total"),
+		explainDepth: r.Histogram("serve.explain.depth", []float64{1, 2, 4, 8, 16, 32, 64}),
+		probes:       r.Counter("serve.hazard.probes_total"),
 	}
 }
 

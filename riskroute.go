@@ -43,6 +43,7 @@ import (
 	"riskroute/internal/hazard"
 	"riskroute/internal/ingest"
 	"riskroute/internal/interdomain"
+	"riskroute/internal/kde"
 	"riskroute/internal/obs"
 	"riskroute/internal/population"
 	"riskroute/internal/resilience"
@@ -308,6 +309,28 @@ type (
 	Candidate = core.Candidate
 	// Addition is one step of the greedy link-addition sweep.
 	Addition = core.Addition
+)
+
+// Attribution types: per-edge, per-layer route explanations whose parts
+// re-sum bit-identically to the engine's route costs (see DESIGN.md §12).
+type (
+	// Explanation decomposes one priced path edge-by-edge; its Cost equals
+	// RiskRoutePair's BitRiskMiles bit for bit.
+	Explanation = core.Explanation
+	// EdgeAttribution is one traversed edge's share of a route cost,
+	// decomposed into miles, base-hazard, forecast, and span layers.
+	EdgeAttribution = core.EdgeAttribution
+	// EdgeReport is one link of the network-wide top-k riskiest-edges report.
+	EdgeReport = core.EdgeReport
+	// HazardProbe explains the fitted hazard field at a point: the aggregate
+	// risk (bit-identical to HazardModel.RiskAt) plus per-catalog
+	// contributions and interpolation stencils.
+	HazardProbe = hazard.Probe
+	// HazardSourceProbe is one catalog's contribution at a probed point.
+	HazardSourceProbe = hazard.SourceProbe
+	// FieldSample is a rasterized field's bilinear interpolation stencil at
+	// a point (kde.Field.Sample).
+	FieldSample = kde.PointSample
 )
 
 // PaperParams returns the paper's tuning parameters (λ_h = 10⁵, λ_f = 10³).
