@@ -3,8 +3,8 @@ GO ?= go
 # BENCH_BASELINE / BENCH_NEW name the checked-in summaries the regression
 # gate compares; BENCH_THRESHOLD is the min-ns/op slowdown (percent) that
 # fails bench-compare.
-BENCH_BASELINE ?= BENCH_PR7.json
-BENCH_NEW ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_NEW ?= BENCH_PR9.json
 BENCH_THRESHOLD ?= 10
 
 .PHONY: tier1 tier2 fuzz-smoke bench bench-compare determinism
@@ -40,10 +40,14 @@ bench:
 	# route handler may cost requests that never ask for an explanation at
 	# most 1% over the attribution-free body (same interleaved estimator).
 	$(GO) test -run='^$$' -bench='RouteExplainPaired' -count=5 -benchtime=1s ./internal/serve | tee -a bench.out
+	# The coldstart gate is the PR 9 snapshot-boot floor: booting from a
+	# baked world snapshot must be at least 20x faster than the full fit
+	# (measured ~55x; the margin absorbs slow CI hosts).
 	$(GO) run ./cmd/benchjson -o $(BENCH_NEW) \
 		-overhead-off RouteWithTracingOff -overhead-on RouteWithTracingOn \
 		-overhead-paired RouteTracingPaired \
-		-gate 'explain=RouteExplainOff/RouteExplainOn/RouteExplainPaired@1' bench.out
+		-gate 'explain=RouteExplainOff/RouteExplainOn/RouteExplainPaired@1' \
+		-gate 'coldstart=ColdStartFit/ColdStartSnapshot@x20' bench.out
 	@rm -f bench.out
 
 # bench-compare diffs the new summary against the checked-in baseline and
@@ -61,6 +65,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzAdvisoryIngest$$' -fuzztime=5s ./internal/serve
 	$(GO) test -run='^$$' -fuzz='^FuzzJournalReplay$$' -fuzztime=5s ./internal/ingest
 	$(GO) test -run='^$$' -fuzz='^FuzzJournalAppendReplay$$' -fuzztime=5s ./internal/ingest
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotLoad$$' -fuzztime=5s ./internal/snapshot
 
 # determinism replays the bit-identity tests under contrasting scheduler
 # widths: results must not depend on how many cores the host exposes.

@@ -67,20 +67,26 @@ type overhead struct {
 	PairedBench string `json:"paired_bench,omitempty"`
 }
 
-// gate is one named off/on overhead budget evaluated while summarizing:
+// gate is one named off/on budget evaluated while summarizing:
 // -gate NAME=OFF/ON[/PAIRED][@MAX] computes the overhead ratio between the
 // OFF and ON benchmarks (PAIRED's self-reported overhead-pct metric, when
 // named, overrides the min quotient exactly as -overhead-paired does) and,
 // when @MAX is given, fails the run if the ratio exceeds MAX percent.
+// The @xMIN variant inverts the budget into a speedup floor: the gate
+// computes OFF÷ON as a speedup factor and fails when it drops below MIN
+// (e.g. coldstart=ColdStartFit/ColdStartSnapshot@x20 demands the snapshot
+// boot be at least 20x faster than the fit boot).
 type gate struct {
 	Name        string  `json:"name"`
 	Off         string  `json:"off"`
 	On          string  `json:"on"`
 	OffNsMin    float64 `json:"off_ns_per_op_min"`
 	OnNsMin     float64 `json:"on_ns_per_op_min"`
-	OverheadPct float64 `json:"overhead_pct"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 	PairedBench string  `json:"paired_bench,omitempty"`
 	MaxPct      float64 `json:"max_pct,omitempty"`
+	SpeedupX    float64 `json:"speedup_x,omitempty"`
+	MinSpeedup  float64 `json:"min_speedup,omitempty"`
 	Enforced    bool    `json:"enforced"`
 	Pass        bool    `json:"pass"`
 }
@@ -89,6 +95,8 @@ type gate struct {
 type gateSpec struct {
 	name, off, on, paired string
 	maxPct                float64
+	minSpeedup            float64
+	speedup               bool
 	enforced              bool
 }
 
@@ -105,11 +113,19 @@ func (g *gateFlags) Set(v string) error {
 	spec := gateSpec{name: name}
 	benches, max, hasMax := strings.Cut(rest, "@")
 	if hasMax {
-		pct, err := strconv.ParseFloat(max, 64)
-		if err != nil {
-			return fmt.Errorf("gate %q: bad max percent %q", v, max)
+		if factor, isSpeedup := strings.CutPrefix(max, "x"); isSpeedup {
+			min, err := strconv.ParseFloat(factor, 64)
+			if err != nil || min <= 0 {
+				return fmt.Errorf("gate %q: bad min speedup %q", v, max)
+			}
+			spec.minSpeedup, spec.speedup, spec.enforced = min, true, true
+		} else {
+			pct, err := strconv.ParseFloat(max, 64)
+			if err != nil {
+				return fmt.Errorf("gate %q: bad max percent %q", v, max)
+			}
+			spec.maxPct, spec.enforced = pct, true
 		}
-		spec.maxPct, spec.enforced = pct, true
 	}
 	parts := strings.Split(benches, "/")
 	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
@@ -140,7 +156,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two JSON summaries: benchjson -compare OLD NEW")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	var gates gateFlags
-	flag.Var(&gates, "gate", "overhead budget NAME=OFF/ON[/PAIRED][@MAX], repeatable; exits nonzero when a gated ratio exceeds MAX percent")
+	flag.Var(&gates, "gate", "budget NAME=OFF/ON[/PAIRED][@MAX|@xMIN], repeatable; @MAX caps overhead percent, @xMIN demands an OFF/ON speedup factor; exits nonzero on breach")
 	flag.Parse()
 
 	if *compare {
@@ -270,7 +286,13 @@ func main() {
 	}
 	if gateFailed {
 		for _, g := range s.Gates {
-			if !g.Pass {
+			if g.Pass {
+				continue
+			}
+			if g.MinSpeedup > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: gate %s FAILED: speedup %.1fx below min %.1fx (%s vs %s)\n",
+					g.Name, g.SpeedupX, g.MinSpeedup, g.On, g.Off)
+			} else {
 				fmt.Fprintf(os.Stderr, "benchjson: gate %s FAILED: overhead %.2f%% exceeds max %.2f%% (%s vs %s)\n",
 					g.Name, g.OverheadPct, g.MaxPct, g.On, g.Off)
 			}
@@ -286,15 +308,21 @@ func evalGate(benches []result, spec gateSpec) (gate, error) {
 		return gate{}, fmt.Errorf("gate %s: pair %q/%q not found in results", spec.name, spec.off, spec.on)
 	}
 	g := gate{
-		Name:        spec.name,
-		Off:         off.Name,
-		On:          on.Name,
-		OffNsMin:    off.NsPerOpMin,
-		OnNsMin:     on.NsPerOpMin,
-		OverheadPct: 100 * (on.NsPerOpMin - off.NsPerOpMin) / off.NsPerOpMin,
-		MaxPct:      spec.maxPct,
-		Enforced:    spec.enforced,
+		Name:     spec.name,
+		Off:      off.Name,
+		On:       on.Name,
+		OffNsMin: off.NsPerOpMin,
+		OnNsMin:  on.NsPerOpMin,
+		Enforced: spec.enforced,
 	}
+	if spec.speedup {
+		g.SpeedupX = off.NsPerOpMin / on.NsPerOpMin
+		g.MinSpeedup = spec.minSpeedup
+		g.Pass = g.SpeedupX >= g.MinSpeedup
+		return g, nil
+	}
+	g.OverheadPct = 100 * (on.NsPerOpMin - off.NsPerOpMin) / off.NsPerOpMin
+	g.MaxPct = spec.maxPct
 	if spec.paired != "" {
 		p := find(benches, spec.paired)
 		if p == nil {

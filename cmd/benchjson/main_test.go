@@ -162,10 +162,49 @@ func TestGateFlagParsing(t *testing.T) {
 	if loose.name != "tracing" || loose.paired != "" || loose.enforced {
 		t.Fatalf("parsed %+v", loose)
 	}
-	for _, bad := range []string{"", "noequals", "x=", "x=only-off", "x=a/b/c/d", "x=a/b@notanumber"} {
+	if err := g.Set("coldstart=ColdStartFit/ColdStartSnapshot@x20"); err != nil {
+		t.Fatal(err)
+	}
+	speedup := g[2]
+	if speedup.name != "coldstart" || !speedup.speedup || speedup.minSpeedup != 20 ||
+		!speedup.enforced || speedup.maxPct != 0 {
+		t.Fatalf("parsed %+v", speedup)
+	}
+	for _, bad := range []string{"", "noequals", "x=", "x=only-off", "x=a/b/c/d", "x=a/b@notanumber",
+		"x=a/b@x", "x=a/b@xzero", "x=a/b@x0", "x=a/b@x-3"} {
 		if err := g.Set(bad); err == nil {
 			t.Errorf("gate %q parsed, want error", bad)
 		}
+	}
+}
+
+func TestEvalSpeedupGate(t *testing.T) {
+	benches := []result{
+		{Name: "BenchmarkColdStartFit", NsPerOpMin: 2_200_000_000},
+		{Name: "BenchmarkColdStartSnapshot", NsPerOpMin: 40_000_000},
+	}
+
+	// 55x measured against a 20x floor passes.
+	g, err := evalGate(benches, gateSpec{name: "coldstart",
+		off: "ColdStartFit", on: "ColdStartSnapshot",
+		minSpeedup: 20, speedup: true, enforced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Pass || g.SpeedupX != 55 || g.MinSpeedup != 20 || g.OverheadPct != 0 {
+		t.Fatalf("gate %+v", g)
+	}
+
+	// Below the floor fails.
+	slow := []result{
+		{Name: "BenchmarkColdStartFit", NsPerOpMin: 100_000_000},
+		{Name: "BenchmarkColdStartSnapshot", NsPerOpMin: 40_000_000},
+	}
+	g, err = evalGate(slow, gateSpec{name: "coldstart",
+		off: "ColdStartFit", on: "ColdStartSnapshot",
+		minSpeedup: 20, speedup: true, enforced: true})
+	if err != nil || g.Pass {
+		t.Fatalf("2.5x speedup passed a 20x floor: %+v err=%v", g, err)
 	}
 }
 

@@ -68,6 +68,8 @@ func main() {
 		err = cmdCheck(args)
 	case "stats":
 		err = cmdStats(args)
+	case "bake":
+		err = cmdBake(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -105,6 +107,8 @@ Commands:
   networks   list the embedded networks
   check      diagnose inputs and report degraded-mode pipeline health
   stats      instrumented pipeline pass; emits the telemetry report (JSON)
+  bake       fit the world once and persist it as a binary snapshot that
+             riskrouted -world-snapshot boots in milliseconds
 
 Every command also takes the scheduling and observability flags:
   -workers n                 max goroutines for parallel stages (0 = all

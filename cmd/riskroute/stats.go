@@ -28,9 +28,13 @@ func cmdStats(args []string) error {
 	network := fs.String("network", "Level3", "network to route over")
 	lambdaH := fs.Float64("lambda-h", 1e5, "historical risk weight λ_h")
 	format := fs.String("format", "json", "report format: json or text")
+	worldSnap := fs.String("world-snapshot", "", "boot from a baked world snapshot instead of fitting (see 'riskroute bake')")
 	fs.Parse(args)
 	if *format != "json" && *format != "text" {
 		return fmt.Errorf("unknown format %q (want json or text)", *format)
+	}
+	if *worldSnap != "" && w.topoFile != "" {
+		return fmt.Errorf("-world-snapshot verifies against the embedded corpus; it cannot be combined with -topology")
 	}
 
 	// stats always collects, with or without -telemetry. The health funnel
@@ -39,56 +43,94 @@ func cmdStats(args []string) error {
 	tel.ensure()
 	reg, trace, health := tel.reg, tel.trace, tel.health
 
-	// Parse stage: the user's topology file, or the embedded corpus
-	// round-tripped through the native text format so the parser is measured
-	// on a realistic full-corpus input.
-	parse := trace.Child("parse")
-	var nets []*riskroute.Network
-	var err error
-	if w.topoFile != "" {
-		f, oerr := os.Open(w.topoFile)
-		if oerr != nil {
-			return oerr
-		}
-		nets, err = riskroute.ParseTopologyLenient(f, nil, health)
-		f.Close()
-	} else {
-		var buf bytes.Buffer
-		if err := riskroute.WriteTopology(&buf, riskroute.BuiltinNetworks()); err != nil {
+	var net *riskroute.Network
+	var model *riskroute.HazardModel
+	var hist, fractions []float64
+	if *worldSnap != "" {
+		// Snapshot path: no parse, no fit — load, verify, restore. The CLI
+		// fails hard on any mismatch; fallback-to-fit is the daemon's job.
+		world, lstats, err := riskroute.LoadWorldSnapshot(*worldSnap, riskroute.WorldSnapshotLoadOptions{
+			Workers: workersFlag, Metrics: reg, Trace: trace,
+			Logger: tel.logger, Health: health,
+		})
+		if err != nil {
 			return err
 		}
-		nets, err = riskroute.ParseTopologyLenient(&buf, nil, health)
-	}
-	if err != nil {
-		return err
-	}
-	parse.SetAttr("networks", len(nets))
-	parse.End()
-	var net *riskroute.Network
-	for _, n := range nets {
-		if n.Name == *network {
-			net = n
+		if err := world.VerifyConfig(w.blocks, w.eventScale, w.seed); err != nil {
+			return err
 		}
-	}
-	if net == nil {
-		return fmt.Errorf("network %q not found (try 'riskroute networks')", *network)
-	}
+		for _, n := range riskroute.BuiltinNetworks() {
+			if n.Name == *network {
+				net = n
+			}
+		}
+		if net == nil {
+			return fmt.Errorf("network %q not found (try 'riskroute networks')", *network)
+		}
+		ns, err := world.VerifyNetwork(net)
+		if err != nil {
+			return err
+		}
+		if model, err = riskroute.RestoreHazardModel(world); err != nil {
+			return err
+		}
+		hist, fractions = ns.Hist, ns.Fractions
+		trace.SetAttr("boot_path", "snapshot")
+		trace.SetAttr("snapshot_digest", lstats.Digest)
+		trace.SetAttr("snapshot_load_ms", float64(lstats.Duration.Microseconds())/1e3)
+	} else {
+		// Parse stage: the user's topology file, or the embedded corpus
+		// round-tripped through the native text format so the parser is
+		// measured on a realistic full-corpus input.
+		parse := trace.Child("parse")
+		var nets []*riskroute.Network
+		var err error
+		if w.topoFile != "" {
+			f, oerr := os.Open(w.topoFile)
+			if oerr != nil {
+				return oerr
+			}
+			nets, err = riskroute.ParseTopologyLenient(f, nil, health)
+			f.Close()
+		} else {
+			var buf bytes.Buffer
+			if err := riskroute.WriteTopology(&buf, riskroute.BuiltinNetworks()); err != nil {
+				return err
+			}
+			nets, err = riskroute.ParseTopologyLenient(&buf, nil, health)
+		}
+		if err != nil {
+			return err
+		}
+		parse.SetAttr("networks", len(nets))
+		parse.End()
+		for _, n := range nets {
+			if n.Name == *network {
+				net = n
+			}
+		}
+		if net == nil {
+			return fmt.Errorf("network %q not found (try 'riskroute networks')", *network)
+		}
 
-	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
-		riskroute.HazardFitConfig{Metrics: reg, Trace: trace, Health: health,
-			Logger: tel.logger})
-	if err != nil {
-		return err
-	}
-	census := riskroute.SyntheticCensus(w.blocks, w.seed)
-	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
-	if err != nil {
-		return err
+		model, err = riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
+			riskroute.HazardFitConfig{Metrics: reg, Trace: trace, Health: health,
+				Logger: tel.logger})
+		if err != nil {
+			return err
+		}
+		census := riskroute.SyntheticCensus(w.blocks, w.seed)
+		asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
+		if err != nil {
+			return err
+		}
+		hist, fractions = model.PoPRisks(net), asg.Fractions
+		trace.SetAttr("boot_path", "fit")
 	}
 	ctx := &riskroute.Context{
 		Net:       net,
-		Hist:      model.PoPRisks(net),
-		Fractions: asg.Fractions,
+		Hist:      hist,
+		Fractions: fractions,
 		Params:    riskroute.Params{LambdaH: *lambdaH},
 	}
 	if w.spanRisk {

@@ -53,6 +53,7 @@ type options struct {
 	eventScale  float64
 	seed        uint64
 	workers     int
+	worldSnap   string
 	maxInFlight int
 	queueTO     time.Duration
 	requestTO   time.Duration
@@ -95,6 +96,7 @@ func run(args []string) error {
 	fs.Float64Var(&o.eventScale, "event-scale", 0.2, "disaster catalog scale (1.0 = paper size)")
 	fs.Uint64Var(&o.seed, "seed", 1, "world seed")
 	fs.IntVar(&o.workers, "workers", 0, "max goroutines for warmup and snapshot rebuilds (0 = all cores)")
+	fs.StringVar(&o.worldSnap, "world-snapshot", "", "boot the world from a baked snapshot file (`riskroute bake`) instead of fitting; a rejected snapshot falls back to a full fit")
 	fs.IntVar(&o.maxInFlight, "max-inflight", 64, "max concurrently executing compute requests")
 	fs.DurationVar(&o.queueTO, "queue-timeout", 100*time.Millisecond, "max wait for an admission slot before 429")
 	fs.DurationVar(&o.requestTO, "request-timeout", 15*time.Second, "per-request deadline")
@@ -215,17 +217,18 @@ func serveDaemon(o *options, fs *flag.FlagSet) error {
 	}
 
 	srv, err := riskroute.NewServer(riskroute.ServeConfig{
-		Networks:       nets,
-		Blocks:         o.blocks,
-		EventScale:     o.eventScale,
-		Seed:           o.seed,
-		Workers:        o.workers,
-		MaxInFlight:    o.maxInFlight,
-		QueueTimeout:   o.queueTO,
-		RequestTimeout: o.requestTO,
-		CacheSize:      o.cacheSize,
-		RequestIDSeed:  o.reqIDSeed,
-		SlowRequest:    o.slowRequest,
+		Networks:          nets,
+		Blocks:            o.blocks,
+		EventScale:        o.eventScale,
+		Seed:              o.seed,
+		Workers:           o.workers,
+		WorldSnapshotPath: o.worldSnap,
+		MaxInFlight:       o.maxInFlight,
+		QueueTimeout:      o.queueTO,
+		RequestTimeout:    o.requestTO,
+		CacheSize:         o.cacheSize,
+		RequestIDSeed:     o.reqIDSeed,
+		SlowRequest:       o.slowRequest,
 		SLO: riskroute.SLOConfig{
 			LatencyObjective: o.sloLatency,
 			LatencyTarget:    o.sloLatencyTgt,
@@ -238,6 +241,30 @@ func serveDaemon(o *options, fs *flag.FlagSet) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// Boot-path report: operators (and the CI bake smoke) read this line to
+	// verify a node actually took the fast path. The ledger additionally
+	// records the snapshot file's checksum as an input and its digest as
+	// config, so a run manifest pins exactly which baked world served.
+	if boot := srv.Boot(); boot.Path == "snapshot" {
+		fmt.Printf("riskrouted: world booted from snapshot %s (digest %.12s) in %.1f ms\n",
+			boot.SnapshotFile, boot.SnapshotDigest, boot.LoadSeconds*1e3)
+		if ledger != nil {
+			f, err := os.Open(o.worldSnap)
+			if err != nil {
+				return err
+			}
+			err = ledger.AddInput("world-snapshot:"+o.worldSnap, f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			ledger.SetConfig("world-snapshot-digest", boot.SnapshotDigest)
+		}
+	} else if boot.Fallback {
+		fmt.Printf("riskrouted: world snapshot rejected (%s); booted by full fit in %.1f s\n",
+			boot.FallbackReason, boot.FitSeconds)
 	}
 
 	if o.debugAddr != "" {

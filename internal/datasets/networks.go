@@ -312,26 +312,22 @@ func generateLinks(n *topology.Network, k, hubRing int) {
 		k = 1
 	}
 	locs := n.Locations()
-	type cand struct {
-		j int
-		d float64
-	}
+	// The bucketed index returns neighbors in the same (distance, index)
+	// order the old per-PoP full sort produced, so the wiring is unchanged;
+	// asking for k+1 and skipping self yields each PoP's k nearest others.
+	idx := geo.NewPointIndex(locs)
 	for i := range locs {
-		cands := make([]cand, 0, len(locs)-1)
-		for j := range locs {
-			if i != j {
-				cands = append(cands, cand{j, geo.Distance(locs[i], locs[j])})
+		taken := 0
+		for _, j := range idx.KNearest(locs[i], k+1) {
+			if j == i {
+				continue
 			}
-		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].d != cands[b].d {
-				return cands[a].d < cands[b].d
+			if taken == k {
+				break
 			}
-			return cands[a].j < cands[b].j
-		})
-		for c := 0; c < k && c < len(cands); c++ {
-			if !n.HasLink(i, cands[c].j) {
-				n.Links = append(n.Links, topology.Link{A: i, B: cands[c].j})
+			taken++
+			if !n.HasLink(i, j) {
+				n.Links = append(n.Links, topology.Link{A: i, B: j})
 			}
 		}
 	}

@@ -125,8 +125,85 @@ func (idx *PointIndex) Nearest(q Point) (int, float64) {
 		}
 	}
 
-	// A conservative lower bound on the width of one cell in miles: a degree
-	// of latitude is ~69 miles; a degree of longitude shrinks with latitude.
+	cellMiles := idx.cellMiles()
+	maxRing := g.Rows + g.Cols
+	for ring := 0; ring <= maxRing; ring++ {
+		// Any point in ring r is at least (r-1)*cellMiles away from q, so
+		// once that bound exceeds the best distance found, stop.
+		if best != -1 && float64(ring-1)*cellMiles > bestDist {
+			break
+		}
+		idx.scanRing(qr, qc, ring, consider)
+	}
+	return best, bestDist
+}
+
+// KNearest returns the indices of the k points closest to q by great-circle
+// distance, ordered by (distance, index) ascending — the same tie-break as
+// Nearest, so KNearest(q, 1) and Nearest(q) agree exactly. It returns all
+// points when k exceeds the indexed set. The ring expansion stops once the
+// k-th best distance beats the next ring's lower bound, so queries over
+// clustered sets touch a handful of buckets instead of every point.
+func (idx *PointIndex) KNearest(q Point, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(idx.points) {
+		k = len(idx.points)
+	}
+	g := idx.grid
+	qr, qc := g.Cell(q)
+
+	type cand struct {
+		i int
+		d float64
+	}
+	best := make([]cand, 0, k)
+	worse := func(a, b cand) bool {
+		if a.d != b.d {
+			return a.d > b.d
+		}
+		return a.i > b.i
+	}
+	consider := func(i int32) {
+		c := cand{int(i), Distance(q, idx.points[i])}
+		if len(best) == k && worse(c, best[k-1]) {
+			return
+		}
+		pos := len(best)
+		for pos > 0 && worse(best[pos-1], c) {
+			pos--
+		}
+		if len(best) < k {
+			best = append(best, cand{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = c
+	}
+
+	cellMiles := idx.cellMiles()
+	maxRing := g.Rows + g.Cols
+	for ring := 0; ring <= maxRing; ring++ {
+		// Any point in ring r is at least (r-1)*cellMiles away; once the
+		// candidate set is full and its worst member beats that bound, no
+		// farther ring can improve it.
+		if len(best) == k && float64(ring-1)*cellMiles > best[k-1].d {
+			break
+		}
+		idx.scanRing(qr, qc, ring, consider)
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.i
+	}
+	return out
+}
+
+// cellMiles returns a conservative lower bound on the extent of one index
+// cell in miles: a degree of latitude is ~69 miles; a degree of longitude
+// shrinks with latitude.
+func (idx *PointIndex) cellMiles() float64 {
+	g := idx.grid
 	maxAbsLat := g.Bounds.MaxLat
 	if -g.Bounds.MinLat > maxAbsLat {
 		maxAbsLat = -g.Bounds.MinLat
@@ -139,17 +216,7 @@ func (idx *PointIndex) Nearest(q Point) (int, float64) {
 	if cellMiles <= 0 {
 		cellMiles = 1e-9
 	}
-
-	maxRing := g.Rows + g.Cols
-	for ring := 0; ring <= maxRing; ring++ {
-		// Any point in ring r is at least (r-1)*cellMiles away from q, so
-		// once that bound exceeds the best distance found, stop.
-		if best != -1 && float64(ring-1)*cellMiles > bestDist {
-			break
-		}
-		idx.scanRing(qr, qc, ring, consider)
-	}
-	return best, bestDist
+	return cellMiles
 }
 
 // scanRing visits all cells at Chebyshev distance ring from (qr, qc) and

@@ -3,6 +3,8 @@ package geo
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -120,6 +122,81 @@ func TestPointIndexClusteredPoints(t *testing.T) {
 	bi, _ := bruteNearest(points, Point{Lat: 40.0005, Lon: -74.0005})
 	if gi != bi {
 		t.Errorf("cluster query matched %d, want %d", gi, bi)
+	}
+}
+
+// bruteKNearest sorts all indices by (distance, index) — the reference
+// ordering KNearest must reproduce exactly.
+func bruteKNearest(points []Point, q Point, k int) []int {
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, len(points))
+	for i, p := range points {
+		cands[i] = cand{i, Distance(q, p)}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].i < cands[b].i
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = cands[i].i
+	}
+	return out
+}
+
+func TestPointIndexKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randIn := func(b Bounds) Point {
+		return Point{
+			Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+			Lon: b.MinLon + rng.Float64()*(b.MaxLon-b.MinLon),
+		}
+	}
+	for _, n := range []int{1, 2, 17, 200} {
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = randIn(ContinentalUS)
+		}
+		idx := NewPointIndex(points)
+		for q := 0; q < 100; q++ {
+			query := randIn(ContinentalUS.Expand(3))
+			for _, k := range []int{1, 2, 4, n, n + 5} {
+				got := idx.KNearest(query, k)
+				want := bruteKNearest(points, query, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("n=%d k=%d query %v: KNearest = %v, want %v", n, k, query, got, want)
+				}
+			}
+			// KNearest(q, 1) and Nearest(q) must agree exactly.
+			ni, _ := idx.Nearest(query)
+			if k1 := idx.KNearest(query, 1); len(k1) != 1 || k1[0] != ni {
+				t.Fatalf("n=%d query %v: KNearest(1) = %v, Nearest = %d", n, query, k1, ni)
+			}
+		}
+	}
+}
+
+func TestPointIndexKNearestDegenerate(t *testing.T) {
+	// Duplicate coordinates force pure index-order tie-breaking.
+	points := []Point{{40, -74}, {40, -74}, {40, -74}, {41, -75}}
+	idx := NewPointIndex(points)
+	got := idx.KNearest(Point{Lat: 40, Lon: -74}, 3)
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("tied KNearest = %v, want [0 1 2]", got)
+	}
+	if got := idx.KNearest(Point{Lat: 40, Lon: -74}, 0); got != nil {
+		t.Errorf("KNearest(k=0) = %v, want nil", got)
+	}
+	if got := idx.KNearest(Point{Lat: 40, Lon: -74}, 100); len(got) != len(points) {
+		t.Errorf("KNearest(k>n) returned %d indices, want %d", len(got), len(points))
 	}
 }
 

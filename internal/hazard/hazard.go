@@ -79,6 +79,33 @@ func (m *Model) Renorm() float64 {
 	return m.renorm
 }
 
+// Restore reconstructs a fitted Model from previously captured surfaces —
+// the world-snapshot boot path. Evaluation (RiskAt, Probe, PoPRisks) reads
+// only the rasterized fields, bandwidths, and the renorm factor, so a
+// restored model is bit-identical to the model the surfaces were captured
+// from; the per-source estimators exist only during Fit and are not
+// restored. renorm is the captured Renorm() value (pass 1, or 0, at full
+// fidelity).
+func Restore(sources []FittedSource, lost []string, renorm float64) (*Model, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("hazard: restore with no fitted sources")
+	}
+	for _, s := range sources {
+		if s.Field == nil {
+			return nil, fmt.Errorf("hazard: restore source %q has no field", s.Name)
+		}
+		if len(s.Field.Values) != s.Field.Grid.Size() {
+			return nil, fmt.Errorf("hazard: restore source %q field has %d values for a %dx%d grid",
+				s.Name, len(s.Field.Values), s.Field.Grid.Rows, s.Field.Grid.Cols)
+		}
+	}
+	m := &Model{Sources: sources, Lost: lost}
+	if renorm != 1 {
+		m.renorm = renorm
+	}
+	return m, nil
+}
+
 // FitConfig controls model fitting.
 type FitConfig struct {
 	// Bounds is the raster region (default: continental US padded 2°).

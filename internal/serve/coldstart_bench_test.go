@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"path/filepath"
+	"testing"
+
+	worldsnap "riskroute/internal/snapshot"
+)
+
+// coldStartConfig is the world both cold-start benchmarks boot. It uses the
+// full event scale — that is what production boots pay for, and the fit cost
+// is dominated by catalog size — with tracing stripped so the measurement is
+// warmup alone. The engine build after warmup is shared by both paths.
+func coldStartConfig() Config {
+	cfg := parityConfig()
+	cfg.EventScale = 1.0
+	cfg.DisableTracing = true
+	return cfg
+}
+
+// BenchmarkColdStartFit measures a full from-scratch boot: hazard fit over
+// every catalog, synthetic census generation, population assignment, and
+// historical PoP risk extraction. This is the baseline the snapshot path is
+// gated against (coldstart gate in Makefile / CI: snapshot must boot at
+// least 20x faster).
+func BenchmarkColdStartFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := New(coldStartConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Boot().Path != "fit" {
+			b.Fatalf("boot path %q, want fit", s.Boot().Path)
+		}
+	}
+}
+
+// BenchmarkColdStartSnapshot measures the same boot from a pre-baked world
+// snapshot: read, checksum-verify, decode, drift-check, serve. The bake
+// itself runs outside the timer — it is the offline step. The benchmark
+// fails rather than silently measuring the fallback path.
+func BenchmarkColdStartSnapshot(b *testing.B) {
+	world, err := BakeWorld(coldStartConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "world.rrws")
+	if _, err := worldsnap.WriteFile(path, world); err != nil {
+		b.Fatal(err)
+	}
+	cfg := coldStartConfig()
+	cfg.WorldSnapshotPath = path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if boot := s.Boot(); boot.Path != "snapshot" || boot.Fallback {
+			b.Fatalf("boot = %+v, want snapshot path without fallback", boot)
+		}
+	}
+}

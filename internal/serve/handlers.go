@@ -136,6 +136,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ready", "generation": s.Generation(),
+			"boot": s.boot,
 		})
 	}
 }

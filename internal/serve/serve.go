@@ -47,6 +47,7 @@ import (
 	"riskroute/internal/population"
 	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
+	worldsnap "riskroute/internal/snapshot"
 	"riskroute/internal/topology"
 )
 
@@ -68,6 +69,18 @@ type Config struct {
 	// Workers bounds the goroutines of warmup, snapshot rebuilds, and
 	// engine sweeps (0 = GOMAXPROCS).
 	Workers int
+
+	// WorldSnapshotPath, when set, boots the world from a baked snapshot
+	// file (`riskroute bake`) instead of fitting: the hazard model, census
+	// fractions, and historical PoP risks come from the file, and only the
+	// engines are rebuilt — generation 1 is bit-identical to a fresh fit of
+	// the same world. A snapshot that fails to load or verify (corruption,
+	// version skew, topology or configuration drift) records a degraded-mode
+	// event and falls back to the full fit; the outcome is reported by Boot.
+	WorldSnapshotPath string
+	// World short-circuits WorldSnapshotPath with an already-decoded
+	// snapshot (in-process bakes and tests); drift verification still runs.
+	World *worldsnap.World
 
 	// MaxInFlight bounds concurrently executing compute requests
 	// (default 64). QueueTimeout is how long an over-limit request may wait
@@ -167,6 +180,28 @@ func syntheticSources(scale float64, seed uint64) []hazard.Source {
 	return out
 }
 
+// BootInfo reports which path built the serving world — the document behind
+// the /v1/readyz "boot" object and `riskroute stats`, so a fleet operator
+// can verify a node actually took the fast path instead of silently
+// re-fitting for seconds.
+type BootInfo struct {
+	// Path is "snapshot" when the world came from a baked snapshot,
+	// "fit" when it was fitted from scratch.
+	Path string `json:"path"`
+	// SnapshotDigest identifies the loaded snapshot (snapshot boots only).
+	SnapshotDigest string `json:"snapshot_digest,omitempty"`
+	SnapshotFile   string `json:"snapshot_file,omitempty"`
+	// LoadSeconds is the snapshot read+verify+decode time; FitSeconds is
+	// the full fit time (whichever path ran).
+	LoadSeconds float64 `json:"load_seconds,omitempty"`
+	FitSeconds  float64 `json:"fit_seconds,omitempty"`
+	Sections    int     `json:"sections,omitempty"`
+	// Fallback is set when a snapshot was requested but rejected and the
+	// server fitted from scratch instead; FallbackReason says why.
+	Fallback       bool   `json:"fallback,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+}
+
 // netBase is the per-network state that survives snapshot swaps: topology,
 // census fractions, and historical risk never change while the daemon runs.
 type netBase struct {
@@ -240,6 +275,7 @@ type Server struct {
 	model *hazard.Model
 	rm    forecast.RiskModel
 	bases []*netBase
+	boot  BootInfo
 
 	snap      atomic.Pointer[snapshot]
 	swapMu    sync.Mutex // serializes advisory ingestion; readers never take it
@@ -267,11 +303,13 @@ type Server struct {
 	handler http.Handler // mux wrapped in tracing middleware (or bare mux)
 }
 
-// New builds the serving world: it fits the hazard surfaces, generates the
-// census, assigns population to every network (fanned over
-// internal/parallel), builds and prebuilds one engine per network, and
-// publishes generation 1. The warmup is traced under cfg.Trace as
-// "serve-warmup" with one child span per stage.
+// New builds the serving world and publishes generation 1. The default path
+// fits the hazard surfaces, generates the census, and assigns population to
+// every network (fanned over internal/parallel); with WorldSnapshotPath (or
+// World) set, all of that state comes from a baked snapshot and boot cost is
+// dominated by the engine prebuilds — a rejected snapshot degrades to the
+// full fit rather than failing the boot. The warmup is traced under
+// cfg.Trace as "serve-warmup" with one child span per stage.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Networks) == 0 {
@@ -287,45 +325,55 @@ func New(cfg Config) (*Server, error) {
 	warm := cfg.Trace.Child("serve-warmup")
 	defer warm.End()
 
-	fit := warm.Child("hazard-fit")
-	model, err := hazard.Fit(syntheticSources(cfg.EventScale, cfg.Seed),
-		hazard.FitConfig{Workers: cfg.Workers, Metrics: cfg.Metrics,
-			Trace: fit, Health: cfg.Health, Logger: cfg.Logger})
-	fit.End()
-	if err != nil {
-		return nil, fmt.Errorf("serve: hazard fit: %w", err)
-	}
-	s.model = model
-	census := datasets.GenerateCensus(datasets.CensusConfig{Blocks: cfg.Blocks, Seed: cfg.Seed})
-
-	// Per-network census assignment and historical risks, one slot per
-	// network. Each slot's inner stages run sequentially (workers=1): the
-	// fan-out across networks is the parallelism, and assignments are
-	// bit-identical at any worker split anyway.
-	assign := warm.Child("population-assign")
-	type baseOrErr struct {
-		base *netBase
-		err  error
-	}
-	slots := parallel.Map(len(cfg.Networks), cfg.Workers, func(i int) baseOrErr {
-		net := cfg.Networks[i]
-		asg, err := population.AssignWorkers(census, net, 1)
+	s.boot = BootInfo{Path: "fit"}
+	world := cfg.World
+	if world == nil && cfg.WorldSnapshotPath != "" {
+		loadStart := time.Now()
+		w, stats, err := worldsnap.Load(cfg.WorldSnapshotPath, worldsnap.LoadOptions{
+			Workers: cfg.Workers, Metrics: cfg.Metrics, Trace: warm,
+			Logger: cfg.Logger, Health: cfg.Health,
+		})
 		if err != nil {
-			return baseOrErr{err: fmt.Errorf("serve: assigning %q: %w", net.Name, err)}
+			s.boot.Fallback = true
+			s.boot.FallbackReason = err.Error()
+			cfg.Metrics.Counter("snapshot.fallbacks").Inc()
+			s.lg.Warn("world snapshot rejected; falling back to full fit",
+				"path", cfg.WorldSnapshotPath, "err", err)
+		} else {
+			world = w
+			s.boot.SnapshotFile = cfg.WorldSnapshotPath
+			s.boot.LoadSeconds = time.Since(loadStart).Seconds()
+			s.boot.Sections = stats.Sections
 		}
-		return baseOrErr{base: &netBase{
-			net:       net,
-			hist:      model.PoPRisks(net),
-			fractions: asg.Fractions,
-		}}
-	})
-	assign.End()
-	s.bases = make([]*netBase, len(slots))
-	for i, sl := range slots {
-		if sl.err != nil {
-			return nil, sl.err
+	}
+	if world != nil {
+		model, bases, err := worldBases(cfg, world)
+		if err != nil {
+			// Drift: the snapshot is internally sound but describes a
+			// different world than this configuration serves. Fail closed
+			// into the fit path rather than serving someone else's risks.
+			s.boot = BootInfo{Path: "fit", Fallback: true, FallbackReason: err.Error()}
+			world = nil
+			cfg.Metrics.Counter("snapshot.fallbacks").Inc()
+			cfg.Health.Degrade("serve", err, "world snapshot %s does not match the serving configuration", cfg.WorldSnapshotPath)
+			s.lg.Warn("world snapshot drift; falling back to full fit",
+				"path", cfg.WorldSnapshotPath, "err", err)
+		} else {
+			s.model = model
+			s.bases = bases
+			s.boot.Path = "snapshot"
+			s.boot.SnapshotDigest = world.Digest
 		}
-		s.bases[i] = sl.base
+	}
+	if world == nil {
+		fitStart := time.Now()
+		fw, err := fitWorld(cfg, warm)
+		if err != nil {
+			return nil, err
+		}
+		s.model = fw.model
+		s.bases = fw.bases
+		s.boot.FitSeconds = time.Since(fitStart).Seconds()
 	}
 
 	build := warm.Child("engine-build")
@@ -366,12 +414,177 @@ func New(cfg Config) (*Server, error) {
 		s.handler = s.traced(s.mux)
 	}
 	s.ready.Store(true)
-	cfg.Health.Record("serve", "warmup complete: %d networks at generation 1", len(s.bases))
-	s.lg.Info("serve warmup complete", "networks", len(s.bases),
-		"blocks", cfg.Blocks, "event_scale", cfg.EventScale,
-		"seconds", warm.Duration().Seconds())
+	cfg.Health.Record("serve", "warmup complete (%s boot): %d networks at generation 1", s.boot.Path, len(s.bases))
+	s.lg.Info("serve warmup complete", "boot_path", s.boot.Path,
+		"networks", len(s.bases), "blocks", cfg.Blocks,
+		"event_scale", cfg.EventScale, "seconds", warm.Duration().Seconds())
 	return s, nil
 }
+
+// fittedWorld is the full-fit pipeline's output: everything a snapshot
+// persists and generation 1 serves.
+type fittedWorld struct {
+	model  *hazard.Model
+	census *population.Census
+	bases  []*netBase
+	asgs   []*population.Assignment
+}
+
+// fitWorld runs the offline pipeline serve's fit-path boot and `riskroute
+// bake` share: hazard fit, census generation, and per-network assignment +
+// historical PoP risks. Bake and fresh boot producing generation-1 state
+// through the same function is what makes snapshot boots bit-identical by
+// construction.
+func fitWorld(cfg Config, warm *obs.Span) (*fittedWorld, error) {
+	fit := warm.Child("hazard-fit")
+	model, err := hazard.Fit(syntheticSources(cfg.EventScale, cfg.Seed),
+		hazard.FitConfig{Workers: cfg.Workers, Metrics: cfg.Metrics,
+			Trace: fit, Health: cfg.Health, Logger: cfg.Logger})
+	fit.End()
+	if err != nil {
+		return nil, fmt.Errorf("serve: hazard fit: %w", err)
+	}
+	census := datasets.GenerateCensus(datasets.CensusConfig{Blocks: cfg.Blocks, Seed: cfg.Seed})
+
+	// Per-network census assignment and historical risks, one slot per
+	// network. Each slot's inner stages run sequentially (workers=1): the
+	// fan-out across networks is the parallelism, and assignments are
+	// bit-identical at any worker split anyway.
+	assign := warm.Child("population-assign")
+	type baseOrErr struct {
+		base *netBase
+		asg  *population.Assignment
+		err  error
+	}
+	slots := parallel.Map(len(cfg.Networks), cfg.Workers, func(i int) baseOrErr {
+		net := cfg.Networks[i]
+		asg, err := population.AssignWorkers(census, net, 1)
+		if err != nil {
+			return baseOrErr{err: fmt.Errorf("serve: assigning %q: %w", net.Name, err)}
+		}
+		return baseOrErr{base: &netBase{
+			net:       net,
+			hist:      model.PoPRisks(net),
+			fractions: asg.Fractions,
+		}, asg: asg}
+	})
+	assign.End()
+	fw := &fittedWorld{
+		model:  model,
+		census: census,
+		bases:  make([]*netBase, len(slots)),
+		asgs:   make([]*population.Assignment, len(slots)),
+	}
+	for i, sl := range slots {
+		if sl.err != nil {
+			return nil, sl.err
+		}
+		fw.bases[i] = sl.base
+		fw.asgs[i] = sl.asg
+	}
+	return fw, nil
+}
+
+// worldBases verifies a baked world against the serving configuration and,
+// on success, restores the hazard model and per-network bases from it —
+// the snapshot boot path's counterpart to fitWorld. Every mismatch is
+// ErrDrift: a snapshot of a different world must never serve.
+func worldBases(cfg Config, world *worldsnap.World) (*hazard.Model, []*netBase, error) {
+	if err := world.VerifyConfig(cfg.Blocks, cfg.EventScale, cfg.Seed); err != nil {
+		return nil, nil, err
+	}
+	sources := make([]hazard.FittedSource, len(world.Catalogs))
+	for i, c := range world.Catalogs {
+		sources[i] = hazard.FittedSource{
+			Name:      c.Name,
+			Bandwidth: c.Bandwidth,
+			Events:    c.Events,
+			Field:     c.Field,
+		}
+	}
+	model, err := hazard.Restore(sources, world.Lost, world.Renorm)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", worldsnap.ErrDrift, err)
+	}
+	bases := make([]*netBase, len(cfg.Networks))
+	for i, net := range cfg.Networks {
+		ns, err := world.VerifyNetwork(net)
+		if err != nil {
+			return nil, nil, err
+		}
+		bases[i] = &netBase{net: net, hist: ns.Hist, fractions: ns.Fractions}
+	}
+	return model, bases, nil
+}
+
+// BakeWorld runs the full fit pipeline for cfg and captures its output as a
+// persistable world snapshot — the engine behind `riskroute bake`. Because
+// it calls the same fitWorld the serving boot calls, a daemon booting from
+// the baked file serves generation 1 bit-identical to one that fitted from
+// scratch with the same configuration.
+func BakeWorld(cfg Config) (*worldsnap.World, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Networks) == 0 {
+		return nil, fmt.Errorf("serve: no networks to bake")
+	}
+	span := cfg.Trace.Child("world-bake")
+	defer span.End()
+	fw, err := fitWorld(cfg, span)
+	if err != nil {
+		return nil, err
+	}
+
+	byName := make(map[string]datasets.EventType, len(datasets.EventTypes))
+	for _, et := range datasets.EventTypes {
+		byName[et.String()] = et
+	}
+	catalogs := make([]worldsnap.Catalog, len(fw.model.Sources))
+	for i, src := range fw.model.Sources {
+		c := worldsnap.Catalog{
+			Name:      src.Name,
+			Bandwidth: src.Bandwidth,
+			Events:    src.Events,
+			Scale:     1,
+			Field:     src.Field,
+		}
+		if et, ok := byName[src.Name]; ok {
+			for s := range c.Seasonal {
+				c.Seasonal[s] = datasets.SeasonalShare(et, datasets.Season(s))
+			}
+		}
+		catalogs[i] = c
+	}
+	nets := make([]worldsnap.NetworkState, len(fw.bases))
+	for i, base := range fw.bases {
+		nets[i] = worldsnap.NetworkState{
+			Name:      base.net.Name,
+			TopoHash:  worldsnap.HashNetwork(base.net),
+			PoPs:      len(base.net.PoPs),
+			Hist:      base.hist,
+			Served:    fw.asgs[i].Served,
+			Fractions: base.fractions,
+		}
+	}
+	world := &worldsnap.World{
+		Blocks:     cfg.Blocks,
+		EventScale: cfg.EventScale,
+		Seed:       cfg.Seed,
+		Renorm:     fw.model.Renorm(),
+		Lost:       fw.model.Lost,
+		Catalogs:   catalogs,
+		Census:     fw.census.Blocks,
+		Networks:   nets,
+	}
+	if err := world.Validate(); err != nil {
+		return nil, err
+	}
+	span.SetAttr("catalogs", len(catalogs))
+	span.SetAttr("networks", len(nets))
+	return world, nil
+}
+
+// Boot reports which path built the serving world (and how long it took).
+func (s *Server) Boot() BootInfo { return s.boot }
 
 // buildSnapshot constructs the immutable world for one generation: the
 // forecast layer for adv (nil for none) and a fresh prebuilt engine per

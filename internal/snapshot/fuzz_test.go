@@ -1,0 +1,46 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotLoad throws arbitrary bytes at the decoder. The invariants: no
+// panic, no silent partial state (a non-nil error means a nil world), and any
+// input the decoder does accept must pass Validate and re-encode cleanly —
+// corrupted files fail closed, they never produce a structurally broken world.
+func FuzzSnapshotLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, testWorld()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("RRWS"))
+	f.Add(valid[:headerLen])
+	f.Add(valid[:len(valid)-7])
+	mangled := bytes.Clone(valid)
+	mangled[headerLen+secHeaderLen+2] ^= 0x40
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		world, stats, err := Decode(data, LoadOptions{Workers: 2})
+		if err != nil {
+			if world != nil {
+				t.Fatal("Decode returned both a world and an error")
+			}
+			return
+		}
+		if world == nil || stats == nil {
+			t.Fatal("Decode returned nil world/stats without error")
+		}
+		if err := world.Validate(); err != nil {
+			t.Fatalf("accepted world fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := Write(&out, world); err != nil {
+			t.Fatalf("accepted world fails re-encode: %v", err)
+		}
+	})
+}

@@ -49,6 +49,7 @@ import (
 	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
 	"riskroute/internal/serve"
+	"riskroute/internal/snapshot"
 	"riskroute/internal/topology"
 )
 
@@ -684,6 +685,81 @@ type (
 // NewServer warms the serving world and publishes generation 1. The
 // returned server's Handler is ready to mount on any net/http listener.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// World snapshot persistence: `riskroute bake` captures the fitted world
+// (hazard surfaces, census, per-network assignments and historical risks)
+// into a versioned, per-section SHA-256-checksummed binary file, and
+// `riskrouted -world-snapshot` boots from it in milliseconds, bit-identical
+// to a fresh fit (see DESIGN.md, "World snapshot persistence").
+type (
+	// WorldSnapshot is a baked serving world (internal/snapshot.World).
+	WorldSnapshot = snapshot.World
+	// WorldSnapshotCatalog is one persisted fitted hazard catalog.
+	WorldSnapshotCatalog = snapshot.Catalog
+	// WorldSnapshotNetwork is one network's baked serving vectors.
+	WorldSnapshotNetwork = snapshot.NetworkState
+	// WorldSnapshotLoadOptions tunes snapshot loading (fan-out + telemetry).
+	WorldSnapshotLoadOptions = snapshot.LoadOptions
+	// WorldSnapshotLoadStats reports what a successful load did.
+	WorldSnapshotLoadStats = snapshot.LoadStats
+	// ServeBootInfo reports which path booted a serving world (the /v1/readyz
+	// "boot" object): snapshot digest + load time, or full-fit time.
+	ServeBootInfo = serve.BootInfo
+)
+
+// Typed world-snapshot load failures, for callers that distinguish "wrong
+// file" from "right file, wrong bytes" from "right bytes, wrong world".
+var (
+	ErrSnapshotNotSnapshot = snapshot.ErrNotSnapshot
+	ErrSnapshotVersion     = snapshot.ErrVersion
+	ErrSnapshotTruncated   = snapshot.ErrTruncated
+	ErrSnapshotChecksum    = snapshot.ErrChecksum
+	ErrSnapshotFormat      = snapshot.ErrFormat
+	ErrSnapshotDrift       = snapshot.ErrDrift
+)
+
+// BakeServeWorld runs the full fit pipeline for cfg and captures its output
+// as a persistable world snapshot. It shares the serving boot's pipeline, so
+// a daemon booting from the baked file serves generation 1 bit-identical to
+// one that fitted from scratch with the same configuration.
+func BakeServeWorld(cfg ServeConfig) (*WorldSnapshot, error) { return serve.BakeWorld(cfg) }
+
+// WriteWorldSnapshot encodes a baked world to w (byte-deterministic) and
+// returns its digest.
+func WriteWorldSnapshot(w io.Writer, world *WorldSnapshot) (string, error) {
+	return snapshot.Write(w, world)
+}
+
+// WriteWorldSnapshotFile bakes a world to path atomically (temp file +
+// rename) and returns the snapshot digest.
+func WriteWorldSnapshotFile(path string, world *WorldSnapshot) (string, error) {
+	return snapshot.WriteFile(path, world)
+}
+
+// LoadWorldSnapshot reads and verifies a baked world, fanning checksum
+// verification and bulk decoding over opt.Workers.
+func LoadWorldSnapshot(path string, opt WorldSnapshotLoadOptions) (*WorldSnapshot, *WorldSnapshotLoadStats, error) {
+	return snapshot.Load(path, opt)
+}
+
+// RestoreHazardModel reconstructs the fitted hazard model a snapshot
+// persists — bit-identical to the model it was baked from.
+func RestoreHazardModel(world *WorldSnapshot) (*HazardModel, error) {
+	sources := make([]hazard.FittedSource, len(world.Catalogs))
+	for i, c := range world.Catalogs {
+		sources[i] = hazard.FittedSource{
+			Name:      c.Name,
+			Bandwidth: c.Bandwidth,
+			Events:    c.Events,
+			Field:     c.Field,
+		}
+	}
+	return hazard.Restore(sources, world.Lost, world.Renorm)
+}
+
+// HashNetworkTopology computes a network's topology identity hash — the
+// exact-bit fingerprint world snapshots verify against at load time.
+func HashNetworkTopology(n *Network) [32]byte { return snapshot.HashNetwork(n) }
 
 // Continuous advisory ingestion: the crash-safe feed poller behind
 // riskrouted's -advisory-feed / -journal-dir flags (see DESIGN.md,
