@@ -70,7 +70,7 @@ func cmdBake(args []string) error {
 		Networks:   nets,
 		Blocks:     w.blocks,
 		EventScale: w.eventScale,
-		Seed:       w.seed,
+		Seed:       seedFlag,
 		Workers:    workersFlag,
 		Metrics:    tel.reg,
 		Trace:      tel.trace,
@@ -96,6 +96,6 @@ func cmdBake(args []string) error {
 		float64(info.Size())/(1<<20))
 	fmt.Printf("  digest %s\n", digest)
 	fmt.Printf("  boot it: riskrouted -world-snapshot %s -blocks %d -event-scale %g -seed %d\n",
-		*out, w.blocks, w.eventScale, w.seed)
+		*out, w.blocks, w.eventScale, seedFlag)
 	return nil
 }

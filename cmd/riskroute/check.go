@@ -101,13 +101,13 @@ func checkPipeline(w *worldFlags, network string, dropLayer int, seed uint64) er
 	if err != nil {
 		return err
 	}
-	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
+	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, seedFlag),
 		riskroute.HazardFitConfig{Lenient: true, Injector: inj, Health: health,
 			Metrics: tel.reg, Trace: tel.trace, Logger: tel.logger})
 	if err != nil {
 		return err
 	}
-	census := riskroute.SyntheticCensus(w.blocks, w.seed)
+	census := riskroute.SyntheticCensus(w.blocks, seedFlag)
 	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 	if err != nil {
 		return err

@@ -70,7 +70,7 @@ func cmdExplain(args []string) error {
 		Networks:       []*riskroute.Network{net},
 		Blocks:         w.blocks,
 		EventScale:     w.eventScale,
-		Seed:           w.seed,
+		Seed:           seedFlag,
 		Workers:        workersFlag,
 		CacheSize:      -1,
 		DisableTracing: true,

@@ -58,6 +58,8 @@ func main() {
 		err = cmdWeights(args)
 	case "sharedrisk":
 		err = cmdSharedRisk(args)
+	case "ensemble":
+		err = cmdEnsemble(args)
 	case "season":
 		err = cmdSeason(args)
 	case "export":
@@ -102,6 +104,9 @@ Commands:
   kpaths     diverse paths and SLA-constrained routing
   weights    composite OSPF link-weight export
   sharedrisk co-located disaster exposure between providers
+  ensemble   Monte-Carlo scenario sweep: perturbed storm tracks, line cuts,
+             disk outages, and correlated regional failures, reported as
+             per-network outage-risk distributions (JSON)
   season     per-season risk and routing behaviour
   export     dump embedded topologies (native text or GraphML)
   networks   list the embedded networks
@@ -114,6 +119,9 @@ Every command also takes the scheduling and observability flags:
   -workers n                 max goroutines for parallel stages (0 = all
                              cores, 1 = sequential); results are identical
                              at any setting
+  -seed n                    deterministic seed for the synthetic world and
+                             scenario ensembles (fixed constant, never wall
+                             clock); recorded in the run manifest
   -telemetry text|json|off   emit a metrics + trace report to stderr on exit
   -log text|json|off         structured log stream (slog) to stderr
   -trace-out file            write the run's trace as Chrome trace-event JSON
@@ -130,7 +138,6 @@ Run 'riskroute <command> -h' for command flags.
 type worldFlags struct {
 	blocks     int
 	eventScale float64
-	seed       uint64
 	topoFile   string
 	spanRisk   bool
 }
@@ -139,7 +146,6 @@ func addWorldFlags(fs *flag.FlagSet) *worldFlags {
 	w := &worldFlags{}
 	fs.IntVar(&w.blocks, "blocks", 20000, "synthetic census blocks")
 	fs.Float64Var(&w.eventScale, "event-scale", 0.2, "disaster catalog scale (1.0 = paper size)")
-	fs.Uint64Var(&w.seed, "seed", 1, "world seed")
 	fs.StringVar(&w.topoFile, "topology", "", "optional topology file (native format) replacing the embedded corpus")
 	fs.BoolVar(&w.spanRisk, "span-risk", false, "also charge risk sampled along fiber spans, not just at PoPs")
 	addTelemetryFlags(fs)
@@ -147,13 +153,13 @@ func addWorldFlags(fs *flag.FlagSet) *worldFlags {
 }
 
 func (w *worldFlags) build() (*riskroute.HazardModel, *riskroute.Census, error) {
-	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
+	model, err := riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, seedFlag),
 		riskroute.HazardFitConfig{Workers: workersFlag, Metrics: tel.reg,
 			Trace: tel.trace, Health: tel.health, Logger: tel.logger})
 	if err != nil {
 		return nil, nil, err
 	}
-	return model, riskroute.SyntheticCensus(w.blocks, w.seed), nil
+	return model, riskroute.SyntheticCensus(w.blocks, seedFlag), nil
 }
 
 func (w *worldFlags) network(name string) (*riskroute.Network, error) {

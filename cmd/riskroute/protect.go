@@ -155,7 +155,7 @@ func cmdSeason(args []string) error {
 	fs.Parse(args)
 
 	seasonal, err := riskroute.FitSeasonalHazard(
-		riskroute.SyntheticSeasonalSources(w.eventScale, w.seed),
+		riskroute.SyntheticSeasonalSources(w.eventScale, seedFlag),
 		riskroute.HazardFitConfig{Metrics: tel.reg, Trace: tel.trace})
 	if err != nil {
 		return err
@@ -164,7 +164,7 @@ func cmdSeason(args []string) error {
 	if err != nil {
 		return err
 	}
-	census := riskroute.SyntheticCensus(w.blocks, w.seed)
+	census := riskroute.SyntheticCensus(w.blocks, seedFlag)
 	asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 	if err != nil {
 		return err

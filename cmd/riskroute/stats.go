@@ -56,7 +56,7 @@ func cmdStats(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := world.VerifyConfig(w.blocks, w.eventScale, w.seed); err != nil {
+		if err := world.VerifyConfig(w.blocks, w.eventScale, seedFlag); err != nil {
 			return err
 		}
 		for _, n := range riskroute.BuiltinNetworks() {
@@ -113,13 +113,13 @@ func cmdStats(args []string) error {
 			return fmt.Errorf("network %q not found (try 'riskroute networks')", *network)
 		}
 
-		model, err = riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, w.seed),
+		model, err = riskroute.FitHazard(riskroute.SyntheticHazardSources(w.eventScale, seedFlag),
 			riskroute.HazardFitConfig{Metrics: reg, Trace: trace, Health: health,
 				Logger: tel.logger})
 		if err != nil {
 			return err
 		}
-		census := riskroute.SyntheticCensus(w.blocks, w.seed)
+		census := riskroute.SyntheticCensus(w.blocks, seedFlag)
 		asg, err := riskroute.AssignPopulationWorkers(census, net, workersFlag)
 		if err != nil {
 			return err

@@ -41,6 +41,13 @@ var tel telemetryState
 // bit-deterministic, so the flag steers speed, never results.
 var workersFlag int
 
+// seedFlag is the global -seed shared by every subcommand: it drives the
+// synthetic world (hazard catalogs, census) and the scenario-ensemble
+// streams. The default is a fixed constant — never wall clock — so two runs
+// with the same flags are byte-identical; unlike the observability flags it
+// IS part of the computation and is recorded in the run manifest.
+var seedFlag uint64
+
 // ensure lazily creates the registry, root trace, health funnel, flight
 // recorder, and ring-only logger (idempotent). Any observability flag arms
 // collection; `riskroute stats` and `riskroute check` arm it unconditionally.
@@ -83,6 +90,8 @@ func addTelemetryFlags(fs *flag.FlagSet) {
 	tel.fs = fs
 	fs.IntVar(&workersFlag, "workers", 0,
 		"max goroutines for parallel stages (0 = all cores, 1 = sequential); results are identical at any setting")
+	fs.Uint64Var(&seedFlag, "seed", 1,
+		"deterministic seed for the synthetic world and scenario ensembles (fixed constant, never wall clock)")
 	fs.Func("telemetry", "emit a telemetry report to stderr on exit: text, json, or off", func(v string) error {
 		switch v {
 		case "off":

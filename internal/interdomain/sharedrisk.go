@@ -78,6 +78,32 @@ func overlap(a *topology.Network, riskA []float64, b *topology.Network, riskB []
 	return total, pairs
 }
 
+// RegionalImpact quantifies an EMP-style correlated regional failure's
+// cross-provider blast radius (Gold & Cohen's model: one event disables
+// everything inside a radius). For a disaster disk at center it counts,
+// across all networks given, the PoPs inside the disk and the logical links
+// with at least one endpoint inside — every one of which the single
+// physical event severs at once. This is the link-level amplification the
+// footprint-overlap score above measures in aggregate: providers whose PoPs
+// co-locate lose their links to the same disk.
+func RegionalImpact(nets []*topology.Network, center geo.Point, radiusMiles float64) (pops, links int) {
+	for _, n := range nets {
+		inside := make([]bool, len(n.PoPs))
+		for i, p := range n.PoPs {
+			if geo.Distance(center, p.Location) <= radiusMiles {
+				inside[i] = true
+				pops++
+			}
+		}
+		for _, l := range n.Links {
+			if inside[l.A] || inside[l.B] {
+				links++
+			}
+		}
+	}
+	return pops, links
+}
+
 // SharedRiskMatrix scores every unordered pair among the networks, sorted
 // by descending normalized overlap. It returns an error with fewer than two
 // networks.

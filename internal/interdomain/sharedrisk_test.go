@@ -1,10 +1,12 @@
 package interdomain
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"riskroute/internal/datasets"
+	"riskroute/internal/geo"
 	"riskroute/internal/hazard"
 	"riskroute/internal/topology"
 )
@@ -95,5 +97,39 @@ func TestSharedRiskSymmetry(t *testing.T) {
 	ba := SharedRisk(b, a, model, 50)
 	if math.Abs(ab.Raw-ba.Raw) > 1e-9 || math.Abs(ab.Normalized-ba.Normalized) > 1e-9 {
 		t.Errorf("shared risk not symmetric: %+v vs %+v", ab, ba)
+	}
+}
+
+func TestRegionalImpact(t *testing.T) {
+	mk := func(name string, pops []geo.Point, links [][2]int) *topology.Network {
+		n := &topology.Network{Name: name, Tier: topology.Regional}
+		for i, p := range pops {
+			n.PoPs = append(n.PoPs, topology.PoP{Name: fmt.Sprintf("%s-%d", name, i), Location: p})
+		}
+		for _, l := range links {
+			n.Links = append(n.Links, topology.Link{A: l[0], B: l[1]})
+		}
+		return n
+	}
+	center := geo.Point{Lat: 35, Lon: -90}
+	far := geo.Point{Lat: 45, Lon: -70}
+	// Network A: two PoPs at the center linked to each other and to a far
+	// PoP — both links have an endpoint inside. Network B: one PoP inside,
+	// one chain entirely outside.
+	a := mk("A", []geo.Point{center, {Lat: 35.1, Lon: -90.1}, far}, [][2]int{{0, 1}, {1, 2}})
+	b := mk("B", []geo.Point{{Lat: 34.9, Lon: -89.9}, far, {Lat: 46, Lon: -69}}, [][2]int{{1, 2}, {0, 1}})
+
+	pops, links := RegionalImpact([]*topology.Network{a, b}, center, 100)
+	if pops != 3 {
+		t.Errorf("pops inside = %d, want 3", pops)
+	}
+	// A contributes both links; B contributes only the link touching PoP 0.
+	if links != 3 {
+		t.Errorf("links hit = %d, want 3", links)
+	}
+	// Radius zero still catches the PoP exactly at the center.
+	pops, links = RegionalImpact([]*topology.Network{a}, center, 0)
+	if pops != 1 || links != 1 {
+		t.Errorf("zero radius: pops=%d links=%d, want 1/1", pops, links)
 	}
 }

@@ -1,0 +1,94 @@
+package kde
+
+import (
+	"testing"
+
+	"riskroute/internal/geo"
+	"riskroute/internal/stats"
+)
+
+func drawGrid() geo.Grid {
+	return geo.NewGrid(geo.Bounds{MinLat: 30, MaxLat: 40, MinLon: -100, MaxLon: -90}, 10, 10)
+}
+
+func TestFieldSamplerSingleCell(t *testing.T) {
+	f := NewField(drawGrid())
+	f.Values[f.Grid.Index(3, 7)] = 2.5
+	s := NewFieldSampler(f)
+	if s.Empty() {
+		t.Fatal("sampler over a one-hot field reports Empty")
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		p := s.PointAt(rng.Float64(), rng.Float64(), rng.Float64())
+		r, c := f.Grid.Cell(p)
+		if r != 3 || c != 7 {
+			t.Fatalf("draw %d landed in cell (%d,%d), want (3,7): %v", i, r, c, p)
+		}
+	}
+}
+
+func TestFieldSamplerMassProportions(t *testing.T) {
+	f := NewField(drawGrid())
+	// Same latitude row, so both cells have identical area: the draw split
+	// must follow the 1:3 density ratio.
+	f.Values[f.Grid.Index(5, 2)] = 1
+	f.Values[f.Grid.Index(5, 8)] = 3
+	s := NewFieldSampler(f)
+	rng := stats.NewRNG(2)
+	const n = 20000
+	heavy := 0
+	for i := 0; i < n; i++ {
+		p := s.PointAt(rng.Float64(), rng.Float64(), rng.Float64())
+		_, c := f.Grid.Cell(p)
+		if c == 8 {
+			heavy++
+		}
+	}
+	got := float64(heavy) / n
+	if got < 0.72 || got > 0.78 {
+		t.Errorf("heavy-cell fraction %v, want ~0.75", got)
+	}
+}
+
+func TestFieldSamplerDeterministic(t *testing.T) {
+	f := NewField(drawGrid())
+	for i := range f.Values {
+		f.Values[i] = float64(i % 7)
+	}
+	a, b := NewFieldSampler(f), NewFieldSampler(f)
+	ra, rb := stats.NewRNG(9), stats.NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		pa := a.PointAt(ra.Float64(), ra.Float64(), ra.Float64())
+		pb := b.PointAt(rb.Float64(), rb.Float64(), rb.Float64())
+		if pa != pb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestFieldSamplerEmpty(t *testing.T) {
+	s := NewFieldSampler(NewField(drawGrid()))
+	if !s.Empty() {
+		t.Fatal("sampler over the zero field is not Empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PointAt on an empty sampler did not panic")
+		}
+	}()
+	s.PointAt(0.5, 0.5, 0.5)
+}
+
+// TestFieldSamplerZeroMassCells pins the strict-search rule: u1 = 0 must
+// never select a leading zero-mass cell.
+func TestFieldSamplerZeroMassCells(t *testing.T) {
+	f := NewField(drawGrid())
+	f.Values[f.Grid.Index(9, 9)] = 1 // only the last cell has mass
+	s := NewFieldSampler(f)
+	p := s.PointAt(0, 0.5, 0.5)
+	r, c := f.Grid.Cell(p)
+	if r != 9 || c != 9 {
+		t.Fatalf("u1=0 landed in cell (%d,%d), want (9,9)", r, c)
+	}
+}

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"runtime"
+	"testing"
+
+	"riskroute/internal/risk"
+)
+
+// BenchmarkEnsembleSweep evaluates a 1000-scenario ensemble (all five
+// families) against one ~20-PoP network — the headline number for the
+// benchjson compare gate.
+func BenchmarkEnsembleSweep(b *testing.B) {
+	scenarios, err := Generate(Config{
+		Seed: 17,
+		Spec: []FamilySpec{
+			{PerturbedTrack, 300}, {GenesisTrack, 100},
+			{LineCut, 250}, {DiskOutage, 200}, {RegionalFailure, 150},
+		},
+		Replay:       sandyReplay(b),
+		Perturb:      DefaultPerturbation(),
+		GenesisField: testGenesisField(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	worlds := []World{testWorld("Bench", 20)}
+	cfg := SweepConfig{Seed: 17, Params: risk.PaperParams(), Workers: runtime.NumCPU()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(scenarios, worlds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{
+		Seed: 17,
+		Spec: []FamilySpec{
+			{PerturbedTrack, 300}, {GenesisTrack, 100},
+			{LineCut, 250}, {DiskOutage, 200}, {RegionalFailure, 150},
+		},
+		Replay:       sandyReplay(b),
+		Perturb:      DefaultPerturbation(),
+		GenesisField: testGenesisField(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioSpec asserts that any spec ParseSpec accepts survives a
+// FormatSpec round trip unchanged, and that parsing never panics on
+// arbitrary input.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add("track=300,genesis=100,cut=250,disk=200,regional=150")
+	f.Add("track=1")
+	f.Add(" regional = 7 , disk = 7 ")
+	f.Add("track=300,track=1")
+	f.Add("=,=")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("ParseSpec(%q) returned no specs without error", s)
+		}
+		seen := make(map[Family]bool)
+		for _, fs := range specs {
+			if fs.Count <= 0 {
+				t.Fatalf("ParseSpec(%q) accepted count %d", s, fs.Count)
+			}
+			if fs.Family < 0 || fs.Family >= numFamilies {
+				t.Fatalf("ParseSpec(%q) produced family %d", s, int(fs.Family))
+			}
+			if seen[fs.Family] {
+				t.Fatalf("ParseSpec(%q) accepted duplicate family %q", s, fs.Family)
+			}
+			seen[fs.Family] = true
+		}
+		back, err := ParseSpec(FormatSpec(specs))
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", FormatSpec(specs), s, err)
+		}
+		if !reflect.DeepEqual(back, specs) {
+			t.Fatalf("round trip of %q: %+v != %+v", s, back, specs)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FamilySpec pairs one scenario family with how many scenarios of it an
+// ensemble draws.
+type FamilySpec struct {
+	Family Family
+	Count  int
+}
+
+// ParseSpec parses a textual ensemble composition: comma-separated
+// family=count entries, e.g. "track=300,cut=250,regional=150". Each family
+// may appear at most once, counts are positive decimal integers, and
+// whitespace around entries is tolerated. Entry order is preserved — it
+// fixes scenario IDs and therefore which random stream each scenario draws.
+func ParseSpec(s string) ([]FamilySpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("scenario: empty spec")
+	}
+	var out []FamilySpec
+	seen := make(map[Family]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("scenario: empty spec entry")
+		}
+		name, countStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("scenario: spec entry %q is not family=count", part)
+		}
+		f, ok := FamilyByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown family %q (want one of %s)",
+				strings.TrimSpace(name), familyList())
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("scenario: family %q appears twice", f)
+		}
+		seen[f] = true
+		n, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("scenario: bad count %q for family %q (want a positive integer)",
+				strings.TrimSpace(countStr), f)
+		}
+		out = append(out, FamilySpec{Family: f, Count: n})
+	}
+	return out, nil
+}
+
+// FormatSpec renders specs back into the textual form ParseSpec accepts;
+// parsing the result yields an identical spec list.
+func FormatSpec(specs []FamilySpec) string {
+	parts := make([]string, len(specs))
+	for i, fs := range specs {
+		parts[i] = fmt.Sprintf("%s=%d", fs.Family, fs.Count)
+	}
+	return strings.Join(parts, ",")
+}
+
+func familyList() string {
+	names := make([]string, len(familyNames))
+	copy(names, familyNames[:])
+	return strings.Join(names, ", ")
+}

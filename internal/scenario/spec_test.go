@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	got, err := ParseSpec(" track=300, cut =250,regional= 150 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FamilySpec{
+		{PerturbedTrack, 300}, {LineCut, 250}, {RegionalFailure, 150},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseSpec = %+v, want %+v", got, want)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "   ", "track", "track=", "track=0", "track=-3", "track=3.5",
+		"storm=5", "track=3,track=4", "track=3,,cut=2", "track=1x",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatSpecRoundTrip(t *testing.T) {
+	specs := []FamilySpec{{GenesisTrack, 7}, {DiskOutage, 2}, {PerturbedTrack, 19}}
+	s := FormatSpec(specs)
+	back, err := ParseSpec(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if !reflect.DeepEqual(back, specs) {
+		t.Errorf("round trip %q = %+v, want %+v", s, back, specs)
+	}
+}
+
+func TestFamilyNames(t *testing.T) {
+	for _, f := range Families() {
+		back, ok := FamilyByName(f.String())
+		if !ok || back != f {
+			t.Errorf("FamilyByName(%q) = %v, %v", f.String(), back, ok)
+		}
+	}
+	if _, ok := FamilyByName("hurricane"); ok {
+		t.Error("unknown family name resolved")
+	}
+	if s := Family(99).String(); s != "Family(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"riskroute/internal/population"
 	"riskroute/internal/resilience"
 	"riskroute/internal/risk"
+	"riskroute/internal/scenario"
 	"riskroute/internal/serve"
 	"riskroute/internal/snapshot"
 	"riskroute/internal/topology"
@@ -788,6 +789,66 @@ func NewIngestPoller(cfg IngestConfig, sw ingest.Swapper) (*IngestPoller, error)
 // polls a URL serving the latest bulletin, anything else watches a
 // directory for *.txt advisory files.
 func NewIngestSource(spec string) (IngestSource, error) { return ingest.NewSource(spec) }
+
+// Scenario ensembles: seeded Monte-Carlo disaster generation (perturbed and
+// synthetic hurricane tracks, geometric line cuts and disk outages,
+// EMP-style correlated regional failures) swept into per-network outage-risk
+// distributions. See DESIGN.md, "Scenario ensembles".
+type (
+	// ScenarioFamily identifies one scenario-generation model.
+	ScenarioFamily = scenario.Family
+	// ScenarioSpec pairs a family with its ensemble count.
+	ScenarioSpec = scenario.FamilySpec
+	// Scenario is one generated disaster.
+	Scenario = scenario.Scenario
+	// ScenarioConfig parameterizes ensemble generation.
+	ScenarioConfig = scenario.Config
+	// TrackPerturbation is the PerturbedTrack jitter magnitudes; the zero
+	// value reproduces the base replay bit-identically.
+	TrackPerturbation = scenario.Perturbation
+	// ScenarioOverlay is a scenario compiled against one network.
+	ScenarioOverlay = scenario.Overlay
+	// EnsembleWorld binds one network to its static risk inputs.
+	EnsembleWorld = scenario.World
+	// EnsembleConfig tunes ensemble evaluation.
+	EnsembleConfig = scenario.SweepConfig
+	// EnsembleReport is a full sweep's per-network distributions.
+	EnsembleReport = scenario.Report
+	// EnsembleDistribution summarizes one metric across an ensemble.
+	EnsembleDistribution = scenario.Distribution
+)
+
+// Scenario families.
+const (
+	ScenarioPerturbedTrack  = scenario.PerturbedTrack
+	ScenarioGenesisTrack    = scenario.GenesisTrack
+	ScenarioLineCut         = scenario.LineCut
+	ScenarioDiskOutage      = scenario.DiskOutage
+	ScenarioRegionalFailure = scenario.RegionalFailure
+)
+
+// ScenarioFamilies lists all families in declaration order.
+func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
+
+// ParseScenarioSpec parses an ensemble composition, e.g.
+// "track=300,cut=250,regional=150".
+func ParseScenarioSpec(s string) ([]ScenarioSpec, error) { return scenario.ParseSpec(s) }
+
+// FormatScenarioSpec renders specs back into ParseScenarioSpec's format.
+func FormatScenarioSpec(specs []ScenarioSpec) string { return scenario.FormatSpec(specs) }
+
+// DefaultTrackPerturbation returns the standard ensemble jitter.
+func DefaultTrackPerturbation() TrackPerturbation { return scenario.DefaultPerturbation() }
+
+// GenerateScenarios draws the ensemble cfg describes — a pure function of
+// the seed and parameters.
+func GenerateScenarios(cfg ScenarioConfig) ([]*Scenario, error) { return scenario.Generate(cfg) }
+
+// SweepEnsemble evaluates every scenario against every world; reports are
+// bit-identical at any worker count.
+func SweepEnsemble(scenarios []*Scenario, worlds []EnsembleWorld, cfg EnsembleConfig) (*EnsembleReport, error) {
+	return scenario.Sweep(scenarios, worlds, cfg)
+}
 
 // Experiments (paper reproduction harness).
 type (
